@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+The campaigns are executed once per pytest session (module-scoped fixtures
+would re-run them per file) and then rendered by the individual benches.
+Campaign size is controlled by REPRO_BENCH_SCENARIOS / REPRO_BENCH_REPETITIONS;
+the defaults keep the whole benchmark suite at roughly ten minutes of wall
+clock, while 100 / 3 reproduces the paper-scale campaign.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.campaign import CampaignConfig, run_campaign, run_field_campaign, run_hil_campaign  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def sil_campaign_results():
+    """RQ1: the SIL campaign over MLS-V1/V2/V3."""
+    return run_campaign(campaign_config=CampaignConfig())
+
+
+@pytest.fixture(scope="session")
+def hil_campaign_result():
+    """RQ2: the HIL campaign (MLS-V3 on the Jetson Nano model)."""
+    return run_hil_campaign(campaign_config=CampaignConfig())
+
+
+@pytest.fixture(scope="session")
+def field_campaign_result():
+    """RQ3: the real-world (field) campaign."""
+    config = CampaignConfig()
+    config.scenario_count = max(4, config.scenario_count // 2)
+    return run_field_campaign(campaign_config=config)

@@ -1,0 +1,56 @@
+"""Ablation (§III.B): dense grid vs octree — memory and update cost."""
+
+from repro.geometry import Pose, Vec3
+from repro.mapping.octomap import OcTree
+from repro.mapping.voxel_grid import VoxelGrid, VoxelGridConfig
+from repro.sensors.depth import DepthCamera
+from repro.world.map_generator import MapStyle, generate_map
+
+
+def _clouds(count=10):
+    world = generate_map(MapStyle.URBAN, seed=9)
+    camera = DepthCamera(facing="forward", seed=1)
+    clouds = []
+    for i in range(count):
+        pose = Pose.at(Vec3(-20 + 4 * i, 0, 10), yaw=0.0)
+        clouds.append(camera.capture(world, pose, timestamp=float(i)))
+    return clouds
+
+
+def test_ablation_octree_memory_vs_dense_grid(benchmark):
+    """OctoMap's memory advantage over the dense grid for the same observations."""
+    clouds = _clouds()
+
+    def build_octree():
+        tree = OcTree()
+        for cloud in clouds:
+            tree.integrate_cloud(cloud)
+        return tree
+
+    tree = benchmark(build_octree)
+
+    grid = VoxelGrid(VoxelGridConfig(window_size=120.0, height=40.0, resolution=0.5))
+    for cloud in clouds:
+        grid.integrate_cloud(cloud)
+
+    print(
+        f"\nMapping ablation: octree {tree.memory_bytes() / 1e6:.2f} MB "
+        f"({tree.occupied_voxel_count()} occupied voxels) vs dense grid covering the same "
+        f"area {grid.memory_bytes() / 1e6:.2f} MB"
+    )
+    assert tree.memory_bytes() < grid.memory_bytes()
+
+
+def test_ablation_grid_is_faster_per_integration_but_local(benchmark):
+    """The dense grid updates faster but only covers a sliding window."""
+    clouds = _clouds()
+    grid = VoxelGrid()
+
+    def integrate_all():
+        for cloud in clouds:
+            grid.integrate_cloud(cloud)
+
+    benchmark(integrate_all)
+    # Observations taken 40 m ago fall outside the (re-centred) window.
+    grid.recenter(Vec3(60, 0, 0))
+    assert grid.occupied_voxel_count() == 0

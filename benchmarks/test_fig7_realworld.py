@@ -1,0 +1,27 @@
+"""Fig. 7 + §V.C: real-world (field) campaign — resources and landing accuracy."""
+
+from repro.bench.tables import render_landing_accuracy, render_resource_summary
+
+
+def test_fig7_resource_usage_exceeds_hil(benchmark, field_campaign_result, hil_campaign_result):
+    """Fig. 7: RAM and CPU noticeably higher than HIL (live camera feeds)."""
+    summary = benchmark(
+        render_resource_summary, field_campaign_result, "Fig. 7: Real-world Jetson Nano performance"
+    )
+    print("\n" + summary)
+    field = field_campaign_result.resource_stats
+    hil = hil_campaign_result.resource_stats
+    assert field.mean_memory_mb > hil.mean_memory_mb
+    assert field.mean_cpu > hil.mean_cpu
+
+
+def test_realworld_landing_accuracy_degrades(benchmark, field_campaign_result, sil_campaign_results):
+    """§V.C: real-world landing error larger than SIL (paper: 60 cm vs 25 cm)."""
+    table = benchmark(
+        render_landing_accuracy, sil_campaign_results["MLS-V3"], field_campaign_result
+    )
+    print("\n" + table)
+    sil_error = sil_campaign_results["MLS-V3"].mean_landing_error
+    field_error = field_campaign_result.mean_landing_error
+    if field_error == field_error and sil_error == sil_error:
+        assert field_error >= sil_error * 0.8  # wind + GPS drift should not improve accuracy

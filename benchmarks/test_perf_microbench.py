@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the hot paths (render, detect, map, plan).
+
+These are conventional pytest-benchmark timings; they do not correspond to a
+paper table but document where the simulation time goes and guard against
+performance regressions.
+"""
+
+import pytest
+
+from repro.geometry import Pose, Vec3
+from repro.mapping.inflation import InflatedMap
+from repro.mapping.octomap import OcTree
+from repro.perception.classical import ClassicalMarkerDetector
+from repro.perception.learned import LearnedMarkerDetector
+from repro.perception.neural.training import load_pretrained_detector_net
+from repro.planning.rrt_star import RrtStarConfig, RrtStarPlanner
+from repro.planning.types import PlanningProblem
+from repro.sensors.camera import DownwardCamera
+from repro.sensors.depth import DepthCamera
+from repro.world.scenario_suite import build_evaluation_suite
+
+
+@pytest.fixture(scope="module")
+def scenario_world():
+    suite = build_evaluation_suite()
+    scenario = suite.scenarios[0]
+    return scenario, scenario.build_world()
+
+
+@pytest.fixture(scope="module")
+def marker_frame(scenario_world):
+    scenario, world = scenario_world
+    camera = DownwardCamera(seed=1)
+    return camera.capture(world, Pose.at(scenario.marker_position.with_z(6.0)))
+
+
+def test_perf_camera_render(benchmark, scenario_world):
+    scenario, world = scenario_world
+    camera = DownwardCamera(seed=2)
+    pose = Pose.at(scenario.marker_position.with_z(8.0))
+    frame = benchmark(camera.capture, world, pose)
+    assert frame.image.shape == (128, 128)
+
+
+def test_perf_classical_detection(benchmark, marker_frame):
+    detector = ClassicalMarkerDetector()
+    result = benchmark(detector.detect, marker_frame)
+    assert result is not None
+
+
+def test_perf_learned_detection(benchmark, marker_frame):
+    detector = LearnedMarkerDetector(network=load_pretrained_detector_net())
+    result = benchmark(detector.detect, marker_frame)
+    assert result is not None
+
+
+def test_perf_depth_capture_and_octree_fusion(benchmark, scenario_world):
+    scenario, world = scenario_world
+    camera = DepthCamera(facing="forward", seed=3)
+    pose = Pose.at(Vec3(0, 0, 10))
+
+    def capture_and_fuse():
+        tree = OcTree()
+        cloud = camera.capture(world, pose)
+        tree.integrate_cloud(cloud)
+        return tree
+
+    tree = benchmark(capture_and_fuse)
+    assert tree.integration_count == 1
+
+
+def test_perf_rrt_star_plan(benchmark, scenario_world):
+    scenario, world = scenario_world
+    tree = OcTree()
+    camera = DepthCamera(facing="forward", seed=4)
+    for x in range(-3, 4):
+        tree.integrate_cloud(camera.capture(world, Pose.at(Vec3(4.0 * x, 0, 10))))
+    planner = RrtStarPlanner(InflatedMap(tree), RrtStarConfig(seed=1, max_iterations=300))
+    problem = PlanningProblem(
+        start=Vec3(0, 0, 12), goal=scenario.gps_target.with_z(12.0), time_budget=1.0
+    )
+    result = benchmark(planner.plan, problem)
+    assert result.iterations > 0

@@ -1,0 +1,26 @@
+"""Table III + §V.B: HIL campaign (MLS-V3 on the Jetson Nano model)."""
+
+from repro.bench import paper_values
+from repro.bench.tables import render_landing_table, render_resource_summary
+
+
+def test_table3_hil_landing_outcomes(benchmark, hil_campaign_result, sil_campaign_results):
+    """Regenerate Table III and check HIL success <= SIL success for MLS-V3."""
+    table = benchmark(
+        render_landing_table,
+        {"MLS-V3": hil_campaign_result},
+        paper_values.TABLE_3_HIL,
+        "Table III: Experiment Results of HIL testing",
+    )
+    print("\n" + table)
+    assert hil_campaign_result.success_rate <= sil_campaign_results["MLS-V3"].success_rate + 1e-9
+
+
+def test_hil_resource_utilisation(benchmark, hil_campaign_result):
+    """§V.B: memory ~2.2 GB of 2.9 GB, CPU cores heavily utilised."""
+    summary = benchmark(render_resource_summary, hil_campaign_result)
+    print("\n" + summary)
+    stats = hil_campaign_result.resource_stats
+    assert stats.mean_memory_mb > 1800.0
+    assert stats.mean_memory_mb < 2900.0
+    assert stats.mean_cpu > 0.3

@@ -1,0 +1,14 @@
+"""Ensure the in-repo package is importable when running pytest from the root.
+
+The evaluation environment has no network access, so ``pip install -e .`` can
+fail when the ``wheel`` package is unavailable (PEP 517 editable installs need
+it).  Adding ``src/`` to ``sys.path`` here makes the test and benchmark suites
+runnable regardless of how (or whether) the package was installed.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,44 @@
+"""Real-world (RQ3) style field test: MLS-V3 with GPS drift, wind and camera I/O load.
+
+Takes a scenario from the evaluation suite, simplifies it to fit a small
+airspace, degrades the GNSS conditions, adds wind during the descent and runs
+the mission on the real-world Jetson Nano profile (live camera streams).
+Compares the Pixhawk 2.4.8 and Cuav X7+ flight-controller profiles, the
+hardware upgrade discussed in §V.C.
+
+Run with:  python examples/field_test.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.realworld.field_test import FieldTestConfig, run_field_scenario
+from repro.realworld.gps_drift import characterise_gps_drift
+from repro.realworld.hardware import CUAV_X7_PRO, PIXHAWK_2_4_8
+from repro.world import build_evaluation_suite
+from repro.world.weather import Weather, WeatherCondition
+
+
+def main() -> None:
+    suite = build_evaluation_suite()
+    scenario = suite.scenarios[2]
+
+    print("GPS characterisation in poor weather (the Fig. 5d effect):")
+    report = characterise_gps_drift(Weather.preset(WeatherCondition.STORM, 0.9), duration=90.0)
+    print(f"  {report}\n")
+
+    for controller in (PIXHAWK_2_4_8, CUAV_X7_PRO):
+        config = FieldTestConfig(flight_controller=controller)
+        record = run_field_scenario(scenario, config=config)
+        landed = f"{record.landing_error:.2f} m from the marker" if record.landed else "did not land"
+        print(f"{controller.name:15s}: {record.outcome.value:13s} ({landed}), "
+              f"mean CPU {100 * record.resources.mean_cpu:.0f}%, "
+              f"mean RAM {record.resources.mean_memory_mb / 1000:.2f} GB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: run one autonomous-landing scenario with MLS-V3.
+
+Builds a scenario from the evaluation suite, runs the full simulation loop
+(takeoff, transit, spiral search, multi-frame validation, staged descent,
+final descent) and prints the outcome, the landing error and the decision
+state machine's transition log.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import MissionRunner, build_evaluation_suite, mls_v3
+
+
+def main() -> None:
+    suite = build_evaluation_suite()
+    scenario = suite.scenarios[0]
+    print(f"Scenario {scenario.scenario_id}: {scenario.map_style.value} map, "
+          f"{scenario.weather.condition.value} weather")
+    print(f"  briefed GPS target : ({scenario.gps_target.x:.1f}, {scenario.gps_target.y:.1f})")
+    print(f"  true marker        : ({scenario.marker_position.x:.1f}, {scenario.marker_position.y:.1f})")
+
+    runner = MissionRunner(scenario, mls_v3())
+    record = runner.run()
+
+    print(f"\nOutcome: {record.outcome.value}")
+    if record.landed:
+        print(f"Landed {record.landing_error:.2f} m from the marker after {record.mission_time:.0f} s")
+    else:
+        print(f"Did not land ({record.failure_reason})")
+    print(f"Detection false-negative rate this run: {100 * record.detection.false_negative_rate:.1f}%")
+
+    print("\nState machine transitions:")
+    for transition in runner.system.transitions:
+        print(f"  {transition}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+fall back to the legacy editable-install path using the metadata from
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

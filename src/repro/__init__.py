@@ -1,0 +1,53 @@
+"""Reproduction of "Towards Robust Autonomous Landing Systems" (DSN 2025).
+
+A pure-Python reproduction of the paper's marker-based autonomous UAV landing
+system and its evaluation: three system generations (MLS-V1/V2/V3), a
+simulated world / flight stack / sensor suite standing in for AirSim + PX4,
+from-scratch marker detection (classical and learned), occupancy mapping
+(dense grid and octree), path planning (local A* and RRT*), the decision
+state machine, and the SIL / HIL / real-world campaign harness.
+
+Quickstart::
+
+    from repro import mls_v3, build_evaluation_suite, run_scenario
+
+    suite = build_evaluation_suite()
+    record = run_scenario(suite.scenarios[0], mls_v3())
+    print(record.outcome, record.landing_error)
+"""
+
+from repro.core.config import (
+    LandingSystemConfig,
+    SystemGeneration,
+    config_for,
+    mls_v1,
+    mls_v2,
+    mls_v3,
+)
+from repro.core.landing_system import LandingSystem
+from repro.core.metrics import CampaignResult, RunOutcome, RunRecord
+from repro.core.mission import MissionConfig, MissionRunner, run_scenario
+from repro.world.scenario import Scenario
+from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LandingSystemConfig",
+    "SystemGeneration",
+    "config_for",
+    "mls_v1",
+    "mls_v2",
+    "mls_v3",
+    "LandingSystem",
+    "CampaignResult",
+    "RunOutcome",
+    "RunRecord",
+    "MissionConfig",
+    "MissionRunner",
+    "run_scenario",
+    "Scenario",
+    "ScenarioSuite",
+    "build_evaluation_suite",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Campaign runner: a scenario suite x system generations x platform.
+
+The full paper campaign is 100 scenarios x 3 repetitions per system; in this
+pure-Python reproduction each run takes tens of wall-clock seconds, so the
+default campaign size is reduced and controlled by the
+``REPRO_BENCH_SCENARIOS`` / ``REPRO_BENCH_REPETITIONS`` environment variables
+(set them to 100 / 3 to run the paper-scale campaign).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.config import LandingSystemConfig, mls_v1, mls_v2, mls_v3
+from repro.core.metrics import CampaignResult
+from repro.core.mission import MissionConfig, MissionRunner
+from repro.core.platform import DesktopPlatform, ExecutionPlatform
+from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
+from repro.perception.neural.training import load_pretrained_detector_net
+from repro.realworld.field_test import FieldTestConfig, run_field_scenario
+from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
+
+#: Default number of scenarios when the environment does not say otherwise.
+DEFAULT_BENCH_SCENARIOS = 6
+DEFAULT_BENCH_REPETITIONS = 1
+
+
+def bench_scenario_count() -> int:
+    """Campaign size, overridable via ``REPRO_BENCH_SCENARIOS``."""
+    return int(os.environ.get("REPRO_BENCH_SCENARIOS", DEFAULT_BENCH_SCENARIOS))
+
+
+def bench_repetitions() -> int:
+    """Repetitions per scenario, overridable via ``REPRO_BENCH_REPETITIONS``."""
+    return int(os.environ.get("REPRO_BENCH_REPETITIONS", DEFAULT_BENCH_REPETITIONS))
+
+
+@dataclass
+class CampaignConfig:
+    """What to run."""
+
+    scenario_count: int = field(default_factory=bench_scenario_count)
+    repetitions: int = field(default_factory=bench_repetitions)
+    mission: MissionConfig = field(default_factory=MissionConfig)
+    base_seed: int = 2025
+    verbose: bool = False
+
+
+def _default_suite(config: CampaignConfig) -> ScenarioSuite:
+    suite = build_evaluation_suite(base_seed=config.base_seed)
+    subset = suite.subset(config.scenario_count)
+    subset.repetitions = config.repetitions
+    return subset
+
+
+def run_campaign(
+    system_configs: Iterable[LandingSystemConfig] | None = None,
+    campaign_config: CampaignConfig | None = None,
+    suite: ScenarioSuite | None = None,
+    platform_factory: Callable[[], ExecutionPlatform] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, CampaignResult]:
+    """Run a (possibly reduced) campaign and aggregate per-system results.
+
+    Args:
+        system_configs: generations to evaluate; defaults to V1, V2 and V3.
+        campaign_config: campaign size and mission timing.
+        suite: explicit scenario suite; defaults to a subset of the 10x10
+            evaluation suite.
+        platform_factory: builds the execution platform for each run
+            (defaults to the SIL desktop platform).
+        progress: optional callback receiving one line per completed run.
+    """
+    campaign_config = campaign_config or CampaignConfig()
+    configs = list(system_configs) if system_configs is not None else [mls_v1(), mls_v2(), mls_v3()]
+    suite = suite or _default_suite(campaign_config)
+    platform_factory = platform_factory or DesktopPlatform
+    network = load_pretrained_detector_net()
+
+    results = {config.name: CampaignResult(system_name=config.name) for config in configs}
+    for config in configs:
+        for scenario in suite:
+            for repetition in range(suite.repetitions):
+                mission_config = campaign_config.mission
+                runner = MissionRunner(
+                    scenario,
+                    config,
+                    mission_config=MissionConfig(
+                        physics_dt=mission_config.physics_dt,
+                        decision_period=mission_config.decision_period,
+                        depth_period=mission_config.depth_period,
+                        max_mission_time=mission_config.max_mission_time,
+                        camera_seed=repetition,
+                    ),
+                    platform=platform_factory(),
+                    detector_network=network,
+                )
+                record = runner.run()
+                results[config.name].add(record)
+                if progress is not None:
+                    progress(
+                        f"{config.name} {scenario.scenario_id} rep{repetition}: "
+                        f"{record.outcome.value} ({record.failure_reason or 'ok'})"
+                    )
+    return results
+
+
+def run_hil_campaign(
+    campaign_config: CampaignConfig | None = None,
+    suite: ScenarioSuite | None = None,
+    system_config: LandingSystemConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """The RQ2 campaign: MLS-V3 on the Jetson Nano platform."""
+    system_config = system_config or mls_v3()
+    results = run_campaign(
+        [system_config],
+        campaign_config=campaign_config,
+        suite=suite,
+        platform_factory=lambda: JetsonNanoPlatform(spec=JetsonNanoSpec()),
+        progress=progress,
+    )
+    return results[system_config.name]
+
+
+def run_field_campaign(
+    campaign_config: CampaignConfig | None = None,
+    suite: ScenarioSuite | None = None,
+    field_config: FieldTestConfig | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """The RQ3 campaign: simplified scenarios flown with real-world effects."""
+    campaign_config = campaign_config or CampaignConfig()
+    suite = suite or _default_suite(campaign_config)
+    field_config = field_config or FieldTestConfig()
+    network = load_pretrained_detector_net()
+
+    result = CampaignResult(system_name="MLS-V3")
+    for scenario in suite:
+        record = run_field_scenario(
+            scenario,
+            config=field_config,
+            mission_config=campaign_config.mission,
+            detector_network=network,
+        )
+        result.add(record)
+        if progress is not None:
+            progress(f"field {scenario.scenario_id}: {record.outcome.value}")
+    return result

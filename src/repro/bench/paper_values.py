@@ -1,0 +1,53 @@
+"""The values reported in the paper, for side-by-side comparison.
+
+We do not expect to match these absolute numbers — the substrate here is a
+synthetic simulator, not AirSim + PX4 + a physical Jetson Nano — but the
+benches print them next to the reproduced values so the *shape* (ordering,
+rough factors, crossovers) can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+#: Table I — SIL results over 150 runs per system (percent).
+TABLE_1_SIL = {
+    "MLS-V1": {"success": 24.67, "collision": 71.33, "poor_landing": 4.00},
+    "MLS-V2": {"success": 42.00, "collision": 48.67, "poor_landing": 9.34},
+    "MLS-V3": {"success": 84.00, "collision": 3.33, "poor_landing": 12.67},
+}
+
+#: Table II — marker-detection false-negative rate (percent).
+TABLE_2_DETECTION = {
+    "MLS-V1": {"implementation": "OpenCV", "false_negative_rate": 4.00},
+    "MLS-V2": {"implementation": "TPH-YOLO", "false_negative_rate": 2.67},
+    "MLS-V3": {"implementation": "TPH-YOLO", "false_negative_rate": 2.00},
+}
+
+#: Table III — HIL results for MLS-V3 (percent).
+TABLE_3_HIL = {
+    "MLS-V3": {"success": 72.00, "collision": 14.00, "poor_landing": 6.00},
+}
+
+#: §V.B — HIL resource usage on the Jetson Nano.
+HIL_RESOURCES = {
+    "memory_used_gb": 2.2,
+    "memory_available_gb": 2.9,
+    "cpu_cores_heavily_utilised": 4,
+}
+
+#: §V.C — landing accuracy (metres from the marker).
+LANDING_ACCURACY = {
+    "sil_hil_mean_error_m": 0.25,
+    "real_world_mean_error_m": 0.60,
+}
+
+#: Expected orderings ("shape") that the reproduction must preserve.
+SHAPE_CLAIMS = [
+    "success(MLS-V3) > success(MLS-V2) > success(MLS-V1) in SIL",
+    "collision failures dominate MLS-V1 and MLS-V2 failures",
+    "MLS-V3 collision rate is far below MLS-V1/V2",
+    "MLS-V3 poor-landing (abort) rate is modestly higher than MLS-V1",
+    "false_negative(OpenCV) > false_negative(TPH-YOLO)",
+    "HIL success < SIL success for MLS-V3 (compute pressure)",
+    "real-world landing error > SIL/HIL landing error",
+    "real-world CPU/RAM use > HIL CPU/RAM use (camera I/O)",
+]

@@ -1,0 +1,38 @@
+"""The autonomous landing system (the paper's primary contribution).
+
+* :mod:`repro.core.config` — system configuration and the three generation
+  presets (MLS-V1, MLS-V2, MLS-V3).
+* :mod:`repro.core.states` — the decision-making state machine states and
+  transition records (Fig. 2).
+* :mod:`repro.core.landing_system` — the multi-module landing system that
+  wires detector + mapper + planner + validation together and produces
+  autopilot commands each decision tick.
+* :mod:`repro.core.mission` — the mission runner that executes one scenario
+  end-to-end (SIL by default; HIL and real-world effects plug in on top).
+* :mod:`repro.core.metrics` — run records and campaign aggregation into the
+  paper's tables.
+"""
+
+from repro.core.config import LandingSystemConfig, SystemGeneration, mls_v1, mls_v2, mls_v3
+from repro.core.states import DecisionState, FailsafeAction, StateTransition
+from repro.core.landing_system import LandingSystem
+from repro.core.metrics import RunOutcome, RunRecord, CampaignResult
+from repro.core.mission import MissionConfig, MissionRunner, run_scenario
+
+__all__ = [
+    "LandingSystemConfig",
+    "SystemGeneration",
+    "mls_v1",
+    "mls_v2",
+    "mls_v3",
+    "DecisionState",
+    "FailsafeAction",
+    "StateTransition",
+    "LandingSystem",
+    "RunOutcome",
+    "RunRecord",
+    "CampaignResult",
+    "MissionConfig",
+    "MissionRunner",
+    "run_scenario",
+]

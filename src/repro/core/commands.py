@@ -1,0 +1,43 @@
+"""Commands the landing system issues to the flight stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Vec3
+
+
+class CommandKind(enum.Enum):
+    """What the decision-making module wants the autopilot to do."""
+
+    NONE = "none"                # hold / keep current setpoint
+    SETPOINT = "setpoint"        # offboard position setpoint
+    LAND = "land"                # descend and touch down in place
+    RETURN = "return"            # failsafe: return to home
+
+
+@dataclass(frozen=True)
+class Command:
+    """One decision-tick output."""
+
+    kind: CommandKind
+    setpoint: Vec3 | None = None
+    yaw: float | None = None
+    speed_limit: float | None = None
+
+    @staticmethod
+    def none() -> "Command":
+        return Command(CommandKind.NONE)
+
+    @staticmethod
+    def setpoint_at(position: Vec3, yaw: float | None = None, speed_limit: float | None = None) -> "Command":
+        return Command(CommandKind.SETPOINT, setpoint=position, yaw=yaw, speed_limit=speed_limit)
+
+    @staticmethod
+    def land() -> "Command":
+        return Command(CommandKind.LAND)
+
+    @staticmethod
+    def return_home() -> "Command":
+        return Command(CommandKind.RETURN)

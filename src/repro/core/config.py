@@ -1,0 +1,162 @@
+"""Landing-system configuration and the three generation presets.
+
+The paper evaluates three generations (§IV.B.2):
+
+* **MLS-V1** — OpenCV-based marker detection, no obstacle avoidance.
+* **MLS-V2** — TPH-YOLO detection + EGO-Planner (dense local grid, local A*).
+* **MLS-V3** — TPH-YOLO detection + OctoMap + RRT*.
+
+:func:`mls_v1`, :func:`mls_v2` and :func:`mls_v3` build the corresponding
+configurations; everything else about the mission (state machine timings,
+validation thresholds, safety margins) is shared, which is what makes the
+comparison an ablation of detector / mapper / planner choices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class DetectorKind(enum.Enum):
+    """Which marker detector the system uses."""
+
+    CLASSICAL = "opencv"
+    LEARNED = "tph-yolo"
+
+
+class MapperKind(enum.Enum):
+    """Which occupancy-map representation the system uses."""
+
+    NONE = "none"
+    DENSE_GRID = "dense-grid"
+    OCTOMAP = "octomap"
+
+
+class PlannerKind(enum.Enum):
+    """Which path planner the system uses."""
+
+    STRAIGHT_LINE = "straight-line"
+    EGO_LOCAL_ASTAR = "ego-local-astar"
+    RRT_STAR = "rrt-star"
+
+
+class SystemGeneration(enum.Enum):
+    """The three system generations evaluated in the paper."""
+
+    MLS_V1 = "MLS-V1"
+    MLS_V2 = "MLS-V2"
+    MLS_V3 = "MLS-V3"
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """SEARCH-state behaviour."""
+
+    search_altitude: float = 8.0
+    spiral_radius: float = 15.0
+    spiral_spacing: float = 4.0
+    search_timeout: float = 90.0
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """VALIDATION-state behaviour (the multi-frame gate)."""
+
+    required_frames: int = 12
+    required_hits: int = 7
+    validation_altitude: float = 6.0
+    position_consistency_radius: float = 1.5
+    max_attempts: int = 3
+
+
+@dataclass(frozen=True)
+class LandingConfig:
+    """LANDING-state behaviour."""
+
+    descent_step: float = 1.5
+    final_descent_altitude: float = 1.5
+    marker_lost_tolerance: float = 4.0      # seconds without a detection before abort
+    reposition_speed_limit: float = 1.5
+    max_landing_attempts: int = 2
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Safety / availability dial (§III.D "Safety and Availability")."""
+
+    obstacle_clearance: float = 0.5
+    vehicle_radius: float = 0.35
+    replan_check_horizon: float = 6.0
+    mission_timeout: float = 240.0
+    min_planning_clearance_to_descend: float = 1.0
+
+
+@dataclass(frozen=True)
+class LandingSystemConfig:
+    """Full configuration of one landing-system generation."""
+
+    generation: SystemGeneration
+    detector: DetectorKind
+    mapper: MapperKind
+    planner: PlannerKind
+    cruise_altitude: float = 12.0
+    search: SearchConfig = field(default_factory=SearchConfig)
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
+    landing: LandingConfig = field(default_factory=LandingConfig)
+    safety: SafetyConfig = field(default_factory=SafetyConfig)
+
+    @property
+    def name(self) -> str:
+        return self.generation.value
+
+    @property
+    def has_avoidance(self) -> bool:
+        return self.mapper is not MapperKind.NONE
+
+    def with_validation(self, **kwargs) -> "LandingSystemConfig":
+        """Copy with validation parameters overridden (used by the ablation bench)."""
+        return replace(self, validation=replace(self.validation, **kwargs))
+
+    def with_safety(self, **kwargs) -> "LandingSystemConfig":
+        """Copy with safety parameters overridden."""
+        return replace(self, safety=replace(self.safety, **kwargs))
+
+
+def mls_v1() -> LandingSystemConfig:
+    """First generation: OpenCV detection, no obstacle avoidance."""
+    return LandingSystemConfig(
+        generation=SystemGeneration.MLS_V1,
+        detector=DetectorKind.CLASSICAL,
+        mapper=MapperKind.NONE,
+        planner=PlannerKind.STRAIGHT_LINE,
+    )
+
+
+def mls_v2() -> LandingSystemConfig:
+    """Second generation: TPH-YOLO detection + EGO-Planner local avoidance."""
+    return LandingSystemConfig(
+        generation=SystemGeneration.MLS_V2,
+        detector=DetectorKind.LEARNED,
+        mapper=MapperKind.DENSE_GRID,
+        planner=PlannerKind.EGO_LOCAL_ASTAR,
+    )
+
+
+def mls_v3() -> LandingSystemConfig:
+    """Third generation: TPH-YOLO detection + OctoMap + RRT*."""
+    return LandingSystemConfig(
+        generation=SystemGeneration.MLS_V3,
+        detector=DetectorKind.LEARNED,
+        mapper=MapperKind.OCTOMAP,
+        planner=PlannerKind.RRT_STAR,
+    )
+
+
+def config_for(generation: SystemGeneration) -> LandingSystemConfig:
+    """Configuration preset for a generation enum value."""
+    if generation is SystemGeneration.MLS_V1:
+        return mls_v1()
+    if generation is SystemGeneration.MLS_V2:
+        return mls_v2()
+    return mls_v3()

@@ -1,0 +1,196 @@
+"""Run records and campaign aggregation.
+
+Every mission run yields a :class:`RunRecord`; a :class:`CampaignResult`
+aggregates them into the quantities the paper reports:
+
+* Table I / III — successful-landing rate, failure rate due to collision,
+  failure rate due to poor landing;
+* Table II — marker-detection false-negative rate;
+* §V — mean detection deviation, mean landing deviation.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+
+
+class RunOutcome(enum.Enum):
+    """Classification of a mission run, matching the paper's three columns."""
+
+    SUCCESS = "success"
+    COLLISION = "collision"
+    POOR_LANDING = "poor_landing"
+
+
+@dataclass
+class DetectionStats:
+    """Frame-level detection bookkeeping for the false-negative rate."""
+
+    frames_with_visible_marker: int = 0
+    frames_detected: int = 0
+    false_positive_frames: int = 0
+    deviation_samples: list[float] = field(default_factory=list)
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Fraction of marker-visible frames with no detection of that marker."""
+        if self.frames_with_visible_marker == 0:
+            return 0.0
+        misses = self.frames_with_visible_marker - self.frames_detected
+        return misses / self.frames_with_visible_marker
+
+    @property
+    def mean_detection_deviation(self) -> float:
+        """Mean error between detected and true marker position, metres."""
+        if not self.deviation_samples:
+            return float("nan")
+        return statistics.fmean(self.deviation_samples)
+
+    def merge(self, other: "DetectionStats") -> None:
+        self.frames_with_visible_marker += other.frames_with_visible_marker
+        self.frames_detected += other.frames_detected
+        self.false_positive_frames += other.false_positive_frames
+        self.deviation_samples.extend(other.deviation_samples)
+
+
+@dataclass
+class ResourceStats:
+    """Companion-computer utilisation samples (HIL / real-world campaigns)."""
+
+    cpu_utilisation_samples: list[float] = field(default_factory=list)
+    memory_mb_samples: list[float] = field(default_factory=list)
+    gpu_utilisation_samples: list[float] = field(default_factory=list)
+    deadline_misses: int = 0
+
+    @property
+    def mean_cpu(self) -> float:
+        return statistics.fmean(self.cpu_utilisation_samples) if self.cpu_utilisation_samples else 0.0
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return max(self.memory_mb_samples) if self.memory_mb_samples else 0.0
+
+    @property
+    def mean_memory_mb(self) -> float:
+        return statistics.fmean(self.memory_mb_samples) if self.memory_mb_samples else 0.0
+
+    @property
+    def mean_gpu(self) -> float:
+        return statistics.fmean(self.gpu_utilisation_samples) if self.gpu_utilisation_samples else 0.0
+
+    def merge(self, other: "ResourceStats") -> None:
+        self.cpu_utilisation_samples.extend(other.cpu_utilisation_samples)
+        self.memory_mb_samples.extend(other.memory_mb_samples)
+        self.gpu_utilisation_samples.extend(other.gpu_utilisation_samples)
+        self.deadline_misses += other.deadline_misses
+
+
+@dataclass
+class RunRecord:
+    """The result of executing one scenario with one system generation."""
+
+    scenario_id: str
+    system_name: str
+    outcome: RunOutcome
+    landing_error: float = float("nan")      # metres from the target marker
+    collided: bool = False
+    collision_obstacle: str = ""
+    landed: bool = False
+    mission_time: float = 0.0
+    detection: DetectionStats = field(default_factory=DetectionStats)
+    resources: ResourceStats = field(default_factory=ResourceStats)
+    planner_failures: int = 0
+    planner_fallbacks: int = 0
+    aborts: int = 0
+    adverse_weather: bool = False
+    failure_reason: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is RunOutcome.SUCCESS
+
+
+@dataclass
+class CampaignResult:
+    """Aggregation of many run records for one system generation."""
+
+    system_name: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        if record.system_name != self.system_name:
+            raise ValueError(
+                f"record for {record.system_name} added to campaign of {self.system_name}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Table I / III quantities
+    # ------------------------------------------------------------------ #
+    def _rate(self, outcome: RunOutcome) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.outcome is outcome) / len(self.records)
+
+    @property
+    def success_rate(self) -> float:
+        return self._rate(RunOutcome.SUCCESS)
+
+    @property
+    def collision_failure_rate(self) -> float:
+        return self._rate(RunOutcome.COLLISION)
+
+    @property
+    def poor_landing_failure_rate(self) -> float:
+        return self._rate(RunOutcome.POOR_LANDING)
+
+    # ------------------------------------------------------------------ #
+    # Table II quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def detection_stats(self) -> DetectionStats:
+        merged = DetectionStats()
+        for record in self.records:
+            merged.merge(record.detection)
+        return merged
+
+    @property
+    def false_negative_rate(self) -> float:
+        return self.detection_stats.false_negative_rate
+
+    # ------------------------------------------------------------------ #
+    # landing accuracy and resources
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_landing_error(self) -> float:
+        errors = [r.landing_error for r in self.records if r.landed and r.landing_error == r.landing_error]
+        return statistics.fmean(errors) if errors else float("nan")
+
+    @property
+    def resource_stats(self) -> ResourceStats:
+        merged = ResourceStats()
+        for record in self.records:
+            merged.merge(record.resources)
+        return merged
+
+    def subset(self, adverse: bool) -> "CampaignResult":
+        """Only the adverse-weather (or only the normal-weather) records."""
+        result = CampaignResult(system_name=self.system_name)
+        for record in self.records:
+            if record.adverse_weather == adverse:
+                result.add(record)
+        return result
+
+    def summary_row(self) -> dict[str, float | str]:
+        """One row of Table I / III."""
+        return {
+            "Landing System": self.system_name,
+            "Successful Landing Rate": round(100.0 * self.success_rate, 2),
+            "Failure rate due to Collision": round(100.0 * self.collision_failure_rate, 2),
+            "Failure rate due to poor landing": round(100.0 * self.poor_landing_failure_rate, 2),
+        }

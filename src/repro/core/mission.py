@@ -1,0 +1,310 @@
+"""Mission runner: executes one scenario with one landing-system generation.
+
+The runner owns the ground-truth world, the simulated flight stack and the
+sensors; the landing system only ever receives sensor products and the state
+estimate.  After the run it classifies the outcome the way the paper's tables
+do (success / failure-by-collision / failure-by-poor-landing) and collects the
+detection and resource statistics the other tables need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.commands import Command, CommandKind
+from repro.core.config import LandingSystemConfig
+from repro.core.landing_system import LandingSystem
+from repro.core.metrics import DetectionStats, ResourceStats, RunOutcome, RunRecord
+from repro.core.platform import DesktopPlatform, ExecutionPlatform, TickBudget
+from repro.core.states import DecisionState
+from repro.geometry import Pose, Vec3
+from repro.sensors.camera import CameraFrame, DownwardCamera
+from repro.sensors.depth import DepthCamera
+from repro.vehicle.autopilot import Autopilot, AutopilotConfig, FlightMode
+from repro.world.scenario import Scenario
+from repro.world.world import World
+
+
+@dataclass
+class MissionConfig:
+    """Timing and termination settings of a mission run."""
+
+    physics_dt: float = 0.04            # 25 Hz vehicle dynamics
+    decision_period: float = 0.2        # 5 Hz decision / perception rate
+    depth_period: float = 0.4           # 2.5 Hz occupancy-map updates
+    max_mission_time: float = 240.0
+    collision_margin: float = 0.05
+    success_radius: float = 1.0         # landing within this distance = success
+    min_marker_pixels_for_visibility: float = 7.0
+    end_on_failsafe: bool = True
+    camera_seed: int = 0
+
+
+@dataclass
+class MissionDebugTrace:
+    """Optional per-run trace used by the examples and failure-analysis bench."""
+
+    positions: list[Vec3] = field(default_factory=list)
+    states: list[str] = field(default_factory=list)
+    estimation_errors: list[float] = field(default_factory=list)
+
+
+class MissionRunner:
+    """Runs one scenario end-to-end."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        system_config: LandingSystemConfig,
+        mission_config: MissionConfig | None = None,
+        platform: ExecutionPlatform | None = None,
+        detector_network=None,
+        autopilot_config: AutopilotConfig | None = None,
+        world: World | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.system_config = system_config
+        self.mission_config = mission_config or MissionConfig()
+        self.platform = platform or DesktopPlatform()
+        self.world = world or scenario.build_world()
+        self.record_trace = record_trace
+        self.trace = MissionDebugTrace()
+
+        autopilot_config = autopilot_config or AutopilotConfig()
+        autopilot_config.takeoff_altitude = system_config.cruise_altitude
+        self.autopilot = Autopilot(
+            self.world,
+            config=autopilot_config,
+            home=scenario.start_position,
+            seed=scenario.seed,
+        )
+        self.camera = DownwardCamera(seed=scenario.seed + self.mission_config.camera_seed)
+        self.depth_forward = DepthCamera(facing="forward", seed=scenario.seed + 11)
+        self.depth_down = DepthCamera(facing="down", seed=scenario.seed + 12)
+
+        self.system = LandingSystem(
+            config=system_config,
+            target_marker_id=self._target_marker_id(),
+            gps_target=scenario.gps_target,
+            home=scenario.start_position,
+            seed=scenario.seed,
+            detector_network=detector_network,
+        )
+
+    def _target_marker_id(self) -> int:
+        marker = self.world.target_marker
+        if marker is None:
+            raise ValueError("scenario world has no target marker")
+        return marker.marker_id
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunRecord:
+        """Execute the mission and return its record."""
+        mission = self.mission_config
+        detection_stats = DetectionStats()
+        resource_stats = ResourceStats()
+
+        self.autopilot.arm_and_takeoff(self.system_config.cruise_altitude)
+
+        time_now = 0.0
+        next_decision = 0.0
+        next_depth = 0.0
+        collided = False
+        collision_name = ""
+        budget = TickBudget()
+
+        while time_now < mission.max_mission_time:
+            time_now += mission.physics_dt
+            state = self.autopilot.step(mission.physics_dt)
+
+            # Ground-truth collision monitoring (only while airborne).
+            if state.position.z > 0.25:
+                obstacle = self.world.colliding_obstacle(
+                    state.position, margin=mission.collision_margin
+                )
+                if obstacle is not None:
+                    collided = True
+                    collision_name = obstacle.name
+                    break
+
+            if self.record_trace:
+                self.trace.positions.append(state.position)
+                self.trace.states.append(self.system.state.value)
+                self.trace.estimation_errors.append(self.autopilot.estimation_error)
+
+            if self.autopilot.mode is FlightMode.TAKEOFF:
+                continue
+
+            if self.autopilot.is_landed:
+                break
+
+            # Depth sensing and mapping at its own (lower) rate.
+            if time_now >= next_depth and not budget.skip_mapping:
+                next_depth = time_now + mission.depth_period
+                estimate = self.autopilot.estimated_state
+                cloud = self.depth_forward.capture(
+                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                )
+                cloud_down = self.depth_down.capture(
+                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                )
+                self.system.process_cloud(cloud.merged_with(cloud_down), estimate)
+
+            # Perception + decision at the decision rate.
+            if time_now >= next_decision:
+                next_decision = time_now + mission.decision_period
+                estimate = self.autopilot.estimated_state
+                frame = self.camera.capture(
+                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                )
+                result = self.system.process_frame(frame)
+                self._score_detections(frame, result, detection_stats)
+
+                command = self.system.decide(
+                    estimate, time_now, allow_replan=budget.allow_replan
+                )
+                self._apply_command(command)
+
+                budget = self.platform.schedule_tick(
+                    self.system.last_timings, mission.decision_period
+                )
+                resource_stats.cpu_utilisation_samples.append(budget.cpu_utilisation)
+                resource_stats.memory_mb_samples.append(budget.memory_mb)
+                resource_stats.gpu_utilisation_samples.append(budget.gpu_utilisation)
+                if budget.deadline_missed:
+                    resource_stats.deadline_misses += 1
+
+                if self.system.state is DecisionState.FAILSAFE and mission.end_on_failsafe:
+                    break
+
+        return self._build_record(
+            time_now, collided, collision_name, detection_stats, resource_stats
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _apply_command(self, command: Command) -> None:
+        if command.kind is CommandKind.SETPOINT and command.setpoint is not None:
+            self.autopilot.set_position_setpoint(
+                command.setpoint, yaw=command.yaw, speed_limit=command.speed_limit
+            )
+        elif command.kind is CommandKind.LAND:
+            self.autopilot.command_land()
+        elif command.kind is CommandKind.RETURN:
+            self.autopilot.command_return()
+
+    def _score_detections(
+        self, frame: CameraFrame, result, stats: DetectionStats
+    ) -> None:
+        """Score the frame against ground truth for the Table II statistics."""
+        target = self.world.target_marker
+        if target is None:
+            return
+        visible = any(m.marker_id == target.marker_id for m in frame.visible_markers)
+        if not visible:
+            return
+        # Require a minimally resolvable apparent size, as the paper's FN rate
+        # is computed over frames where detection is plausible at all.
+        altitude = max(frame.camera_pose.position.z, 1e-3)
+        apparent = frame.intrinsics.pixels_per_meter(altitude) * target.size
+        if apparent < self.mission_config.min_marker_pixels_for_visibility:
+            return
+        stats.frames_with_visible_marker += 1
+
+        matched = False
+        for detection in result.detections:
+            deviation = detection.world_position.horizontal_distance_to(target.position)
+            if deviation <= 2.0:
+                matched = True
+                stats.deviation_samples.append(deviation)
+                break
+        if matched:
+            stats.frames_detected += 1
+        for detection in result.detections:
+            if detection.marker_id == target.marker_id:
+                continue
+            if detection.world_position.horizontal_distance_to(target.position) > 3.0:
+                stats.false_positive_frames += 1
+                break
+
+    def _build_record(
+        self,
+        mission_time: float,
+        collided: bool,
+        collision_name: str,
+        detection_stats: DetectionStats,
+        resource_stats: ResourceStats,
+    ) -> RunRecord:
+        target = self.world.target_marker
+        final_position = self.autopilot.true_state.position
+        landed = self.autopilot.is_landed
+        landing_error = (
+            final_position.horizontal_distance_to(target.position)
+            if target is not None
+            else float("nan")
+        )
+
+        if collided:
+            outcome = RunOutcome.COLLISION
+            reason = f"collision with {collision_name}"
+        elif (
+            landed
+            and target is not None
+            and landing_error <= self.mission_config.success_radius
+            and self.world.is_valid_landing_point(final_position)
+        ):
+            outcome = RunOutcome.SUCCESS
+            reason = ""
+        else:
+            outcome = RunOutcome.POOR_LANDING
+            if not landed:
+                reason = (
+                    "failsafe abort"
+                    if self.system.state is DecisionState.FAILSAFE
+                    else "mission timeout"
+                )
+            else:
+                reason = "landed away from the marker"
+
+        return RunRecord(
+            scenario_id=self.scenario.scenario_id,
+            system_name=self.system_config.name,
+            outcome=outcome,
+            landing_error=landing_error if landed else float("nan"),
+            collided=collided,
+            collision_obstacle=collision_name,
+            landed=landed,
+            mission_time=mission_time,
+            detection=detection_stats,
+            resources=resource_stats,
+            planner_failures=self.system.planner_failures,
+            planner_fallbacks=self.system.planner_fallbacks,
+            aborts=self.system.aborts,
+            adverse_weather=self.scenario.is_adverse_weather,
+            failure_reason=reason,
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    system_config: LandingSystemConfig,
+    mission_config: MissionConfig | None = None,
+    platform: ExecutionPlatform | None = None,
+    detector_network=None,
+    record_trace: bool = False,
+) -> RunRecord:
+    """Convenience wrapper: build a runner and execute the scenario once."""
+    runner = MissionRunner(
+        scenario,
+        system_config,
+        mission_config=mission_config,
+        platform=platform,
+        detector_network=detector_network,
+        record_trace=record_trace,
+    )
+    return runner.run()

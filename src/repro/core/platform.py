@@ -1,0 +1,61 @@
+"""Execution-platform models.
+
+The landing software runs on different compute platforms in the paper's three
+experiments: a desktop (SIL), a Jetson Nano (HIL) and the same Jetson with the
+additional real-time camera I/O of the real drone (real world).  The mission
+runner is platform-agnostic: after every decision tick it hands the module
+timings to a :class:`ExecutionPlatform`, which decides whether the platform
+kept up and reports utilisation samples.
+
+:class:`DesktopPlatform` (SIL) always keeps up; the Jetson model lives in
+:mod:`repro.hil.jetson`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class TickBudget:
+    """What the platform managed to do within one decision period."""
+
+    allow_replan: bool = True
+    skip_mapping: bool = False
+    processing_latency: float = 0.0
+    cpu_utilisation: float = 0.0
+    memory_mb: float = 0.0
+    gpu_utilisation: float = 0.0
+    deadline_missed: bool = False
+
+
+@runtime_checkable
+class ExecutionPlatform(Protocol):
+    """Scheduling and resource model of the companion computer."""
+
+    def schedule_tick(self, timings, tick_period: float) -> TickBudget:
+        """Account for one decision tick's module workload."""
+        ...
+
+
+class DesktopPlatform:
+    """The SIL platform: a desktop that never misses a deadline."""
+
+    name = "desktop-sil"
+
+    def __init__(self, memory_mb: float = 1200.0) -> None:
+        self._memory_mb = memory_mb
+
+    def schedule_tick(self, timings, tick_period: float) -> TickBudget:
+        total = timings.total
+        utilisation = min(1.0, total / max(tick_period, 1e-6))
+        return TickBudget(
+            allow_replan=True,
+            skip_mapping=False,
+            processing_latency=total,
+            cpu_utilisation=utilisation * 0.5,
+            memory_mb=self._memory_mb,
+            gpu_utilisation=0.25 if timings.detection > 0.02 else 0.05,
+            deadline_missed=False,
+        )

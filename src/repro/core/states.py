@@ -1,0 +1,39 @@
+"""Decision-making state machine vocabulary (Fig. 2 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DecisionState(enum.Enum):
+    """States of the decision-making module."""
+
+    TRANSIT = "transit"            # fly to the initial GPS estimate
+    SEARCH = "search"              # spiral search for the marker
+    VALIDATE = "validate"          # hover, collect frames, confirm the marker
+    LANDING = "landing"            # follow the descent waypoint sequence
+    FINAL_DESCENT = "final_descent"  # below 1.5 m: commit to touchdown
+    LANDED = "landed"
+    FAILSAFE = "failsafe"          # abort and execute the failsafe action
+
+
+class FailsafeAction(enum.Enum):
+    """What the failsafe does after an abort (§III.D)."""
+
+    RETURN_HOME = "return_home"
+    RETRY_SEARCH = "retry_search"
+    RETRY_VALIDATION = "retry_validation"
+
+
+@dataclass(frozen=True)
+class StateTransition:
+    """A recorded state change, kept for diagnostics and the failure analysis."""
+
+    timestamp: float
+    from_state: DecisionState
+    to_state: DecisionState
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.timestamp:7.1f}s] {self.from_state.value} -> {self.to_state.value}: {self.reason}"

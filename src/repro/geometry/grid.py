@@ -1,0 +1,68 @@
+"""Conversion between continuous ENU coordinates and integer voxel indices."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.vec import Vec3
+
+
+@dataclass(frozen=True)
+class GridIndex:
+    """Maps world coordinates to voxel indices for a grid anchored at ``origin``.
+
+    The voxel with index ``(0, 0, 0)`` covers the half-open cube
+    ``[origin, origin + resolution)`` along each axis.
+    """
+
+    origin: Vec3
+    resolution: float
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError("grid resolution must be positive")
+
+    def to_index(self, point: Vec3) -> tuple[int, int, int]:
+        return (
+            int(math.floor((point.x - self.origin.x) / self.resolution)),
+            int(math.floor((point.y - self.origin.y) / self.resolution)),
+            int(math.floor((point.z - self.origin.z) / self.resolution)),
+        )
+
+    def to_center(self, index: tuple[int, int, int]) -> Vec3:
+        """World coordinates of the centre of the voxel at ``index``."""
+        half = self.resolution / 2.0
+        return Vec3(
+            self.origin.x + index[0] * self.resolution + half,
+            self.origin.y + index[1] * self.resolution + half,
+            self.origin.z + index[2] * self.resolution + half,
+        )
+
+    def voxel_bounds(self, index: tuple[int, int, int]) -> tuple[Vec3, Vec3]:
+        lo = Vec3(
+            self.origin.x + index[0] * self.resolution,
+            self.origin.y + index[1] * self.resolution,
+            self.origin.z + index[2] * self.resolution,
+        )
+        hi = Vec3(
+            lo.x + self.resolution, lo.y + self.resolution, lo.z + self.resolution
+        )
+        return lo, hi
+
+    def snap(self, point: Vec3) -> Vec3:
+        """Snap a point to the centre of the voxel containing it."""
+        return self.to_center(self.to_index(point))
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle to the range ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest signed difference ``a - b`` between two angles."""
+    return wrap_angle(a - b)

@@ -1,0 +1,53 @@
+"""A rigid-body pose: position plus orientation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.quaternion import Quaternion
+from repro.geometry.vec import Vec3
+
+
+@dataclass(frozen=True)
+class Pose:
+    """Position and orientation of a body in the world frame."""
+
+    position: Vec3 = Vec3.zero()
+    orientation: Quaternion = Quaternion.identity()
+
+    @staticmethod
+    def identity() -> "Pose":
+        return Pose(Vec3.zero(), Quaternion.identity())
+
+    @staticmethod
+    def at(position: Vec3, yaw: float = 0.0) -> "Pose":
+        """A pose at ``position`` with a pure heading rotation."""
+        return Pose(position, Quaternion.from_yaw(yaw))
+
+    def transform_point(self, body_point: Vec3) -> Vec3:
+        """Map a point expressed in the body frame into the world frame."""
+        return self.position + self.orientation.rotate(body_point)
+
+    def inverse_transform_point(self, world_point: Vec3) -> Vec3:
+        """Map a world-frame point into the body frame."""
+        return self.orientation.rotate_inverse(world_point - self.position)
+
+    def compose(self, child: "Pose") -> "Pose":
+        """The pose of ``child`` (expressed relative to self) in the world frame."""
+        return Pose(
+            self.transform_point(child.position),
+            self.orientation * child.orientation,
+        )
+
+    @property
+    def yaw(self) -> float:
+        return self.orientation.yaw
+
+    def distance_to(self, other: "Pose") -> float:
+        return self.position.distance_to(other.position)
+
+    def with_position(self, position: Vec3) -> "Pose":
+        return Pose(position, self.orientation)
+
+    def with_yaw(self, yaw: float) -> "Pose":
+        return Pose(self.position, Quaternion.from_yaw(yaw))

@@ -1,0 +1,105 @@
+"""Rays and ray bundles for the depth sensor and the octree updater."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry.vec import Vec3
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A half-line with a unit direction."""
+
+    origin: Vec3
+    direction: Vec3
+
+    def __post_init__(self) -> None:
+        n = self.direction.norm()
+        if abs(n - 1.0) > 1e-6:
+            if n < 1e-12:
+                raise ValueError("ray direction must be non-zero")
+            object.__setattr__(self, "direction", self.direction / n)
+
+    def point_at(self, distance: float) -> Vec3:
+        return self.origin + self.direction * distance
+
+    @staticmethod
+    def between(start: Vec3, end: Vec3) -> "Ray":
+        """Ray from ``start`` pointing towards ``end``."""
+        return Ray(start, (end - start))
+
+
+def bresenham_voxels(
+    start: Vec3, end: Vec3, resolution: float
+) -> Iterator[tuple[int, int, int]]:
+    """Yield the integer voxel coordinates traversed from ``start`` to ``end``.
+
+    This is a 3D DDA (Amanatides–Woo) traversal at the given voxel
+    ``resolution``; it is the core of both the octree ray insertion and the
+    dense-grid free-space carving.  The start voxel is yielded first and the
+    end voxel last.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+
+    def to_key(p: Vec3) -> tuple[int, int, int]:
+        return (
+            int(math.floor(p.x / resolution)),
+            int(math.floor(p.y / resolution)),
+            int(math.floor(p.z / resolution)),
+        )
+
+    current = list(to_key(start))
+    target = to_key(end)
+    yield tuple(current)
+    if tuple(current) == target:
+        return
+
+    delta = end - start
+    length = delta.norm()
+    if length < 1e-12:
+        return
+    direction = delta / length
+
+    step = [0, 0, 0]
+    t_max = [math.inf, math.inf, math.inf]
+    t_delta = [math.inf, math.inf, math.inf]
+    origin = (start.x, start.y, start.z)
+    dir_components = (direction.x, direction.y, direction.z)
+
+    for i in range(3):
+        d = dir_components[i]
+        if d > 1e-12:
+            step[i] = 1
+            boundary = (current[i] + 1) * resolution
+            t_max[i] = (boundary - origin[i]) / d
+            t_delta[i] = resolution / d
+        elif d < -1e-12:
+            step[i] = -1
+            boundary = current[i] * resolution
+            t_max[i] = (boundary - origin[i]) / d
+            t_delta[i] = resolution / -d
+
+    # Guard against degenerate floating point loops: the traversal can take at
+    # most the Manhattan distance in voxels plus a small slack.
+    max_steps = (
+        abs(target[0] - current[0])
+        + abs(target[1] - current[1])
+        + abs(target[2] - current[2])
+        + 3
+    )
+    for _ in range(max_steps):
+        t_next = min(t_max)
+        if t_next > length + 1e-9:
+            # The next voxel boundary lies beyond the segment end: endpoints
+            # sitting exactly on voxel corners would otherwise overshoot.
+            return
+        axis = t_max.index(t_next)
+        current[axis] += step[axis]
+        t_max[axis] += t_delta[axis]
+        yield tuple(current)
+        if tuple(current) == target:
+            return

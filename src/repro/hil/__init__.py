@@ -1,0 +1,33 @@
+"""Hardware-in-the-loop substrate: the Jetson Nano companion-computer model.
+
+In the paper's HIL experiments (§IV.C.2, §V.B) the landing-system modules run
+on a 4 GB Jetson Nano in MAXN power mode, with the TPH-YOLO model converted to
+TensorRT.  The Nano's four CPU cores are the bottleneck: under load, planning
+deadlines are missed, replans arrive late, and the collision rate rises
+relative to SIL.
+
+This package models that platform:
+
+* :mod:`repro.hil.jetson` — the Jetson Nano resource model
+  (:class:`JetsonNanoPlatform`), an :class:`~repro.core.platform.ExecutionPlatform`
+  that scales the modules' nominal desktop latencies to Nano-class hardware,
+  tracks CPU/GPU/memory utilisation and misses deadlines when the decision
+  period is exceeded.
+* :mod:`repro.hil.tensorrt` — the TensorRT-style optimisation model that
+  reduces the learned detector's inference latency on the GPU.
+* :mod:`repro.hil.monitor` — utilisation bookkeeping (the `tegrastats`
+  substitute) used to produce Fig. 7.
+"""
+
+from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
+from repro.hil.tensorrt import TensorRtEngine, TensorRtOptimizationReport
+from repro.hil.monitor import ResourceMonitor, UtilisationSample
+
+__all__ = [
+    "JetsonNanoPlatform",
+    "JetsonNanoSpec",
+    "TensorRtEngine",
+    "TensorRtOptimizationReport",
+    "ResourceMonitor",
+    "UtilisationSample",
+]

@@ -1,0 +1,67 @@
+"""Companion-computer resource monitoring (the ``tegrastats`` substitute).
+
+Collects per-tick utilisation samples so that the HIL and real-world
+campaigns can report the quantities the paper shows in §V.B and Fig. 7:
+memory use (~2.2 GB of 2.9 GB usable in HIL, more in the real-world tests),
+all four CPU cores heavily utilised, and GPU load from TensorRT inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+
+
+@dataclass(frozen=True)
+class UtilisationSample:
+    """One monitoring sample."""
+
+    timestamp: float
+    cpu_utilisation: float      # 0-1 averaged over cores
+    memory_mb: float
+    gpu_utilisation: float      # 0-1
+    per_core_utilisation: tuple[float, ...] = ()
+
+
+@dataclass
+class ResourceMonitor:
+    """Accumulates utilisation samples over a run or a campaign."""
+
+    samples: list[UtilisationSample] = field(default_factory=list)
+
+    def record(self, sample: UtilisationSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_cpu(self) -> float:
+        return fmean(s.cpu_utilisation for s in self.samples) if self.samples else 0.0
+
+    @property
+    def peak_cpu(self) -> float:
+        return max((s.cpu_utilisation for s in self.samples), default=0.0)
+
+    @property
+    def mean_memory_mb(self) -> float:
+        return fmean(s.memory_mb for s in self.samples) if self.samples else 0.0
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return max((s.memory_mb for s in self.samples), default=0.0)
+
+    @property
+    def mean_gpu(self) -> float:
+        return fmean(s.gpu_utilisation for s in self.samples) if self.samples else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """The figures reported in §V.B / Fig. 7."""
+        return {
+            "mean_cpu_utilisation": round(self.mean_cpu, 3),
+            "peak_cpu_utilisation": round(self.peak_cpu, 3),
+            "mean_memory_mb": round(self.mean_memory_mb, 1),
+            "peak_memory_mb": round(self.peak_memory_mb, 1),
+            "mean_gpu_utilisation": round(self.mean_gpu, 3),
+            "samples": float(len(self.samples)),
+        }

@@ -1,0 +1,91 @@
+"""TensorRT-style inference optimisation model.
+
+"To ensure the TPH-YOLO model could be processed efficiently on the edge
+device [...] we optimized and converted it to the TensorRT format, which
+significantly accelerates inference on NVIDIA GPUs" (§IV.C.2).
+
+The real conversion fuses layers and quantises weights; the observable effects
+on the system are (a) a large inference-latency reduction on the GPU and (b) a
+small numerical perturbation of the outputs.  :class:`TensorRtEngine` wraps a
+trained :class:`~repro.perception.neural.network.MarkerPatchNet` and models
+both: it quantises the weights to FP16-like precision and reports the reduced
+latency the HIL platform should charge for inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perception.neural.network import MarkerPatchNet
+
+
+@dataclass(frozen=True)
+class TensorRtOptimizationReport:
+    """What the conversion changed."""
+
+    parameter_count: int
+    original_latency: float
+    optimized_latency: float
+    max_weight_error: float
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_latency <= 0:
+            return float("inf")
+        return self.original_latency / self.optimized_latency
+
+
+def _quantize_fp16(array: np.ndarray) -> np.ndarray:
+    """Round-trip an array through half precision (the dominant TRT effect)."""
+    return array.astype(np.float16).astype(np.float64)
+
+
+class TensorRtEngine:
+    """A 'compiled' marker network with quantised weights and reduced latency.
+
+    Args:
+        network: the trained FP32 network to convert.
+        gpu_latency: per-frame inference latency of the optimised engine on
+            the Jetson's GPU (seconds).
+        cpu_latency: latency of the unoptimised network on the Jetson's CPU,
+            used only for the optimisation report.
+    """
+
+    def __init__(
+        self,
+        network: MarkerPatchNet,
+        gpu_latency: float = 0.022,
+        cpu_latency: float = 0.110,
+    ) -> None:
+        self.gpu_latency = gpu_latency
+        self.cpu_latency = cpu_latency
+        self._network = MarkerPatchNet()
+        original_state = network.state_dict()
+        quantized_state = [_quantize_fp16(p) for p in original_state]
+        self._network.load_state_dict(quantized_state)
+        self._max_weight_error = max(
+            float(np.max(np.abs(o - q))) for o, q in zip(original_state, quantized_state)
+        )
+        self._parameter_count = sum(p.size for p in original_state)
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_probability(self, patches: np.ndarray) -> np.ndarray:
+        """Quantised inference; numerically close to the FP32 network."""
+        return self._network.predict_probability(patches)
+
+    @property
+    def network(self) -> MarkerPatchNet:
+        """The quantised network (drop-in replacement for the FP32 one)."""
+        return self._network
+
+    def optimization_report(self) -> TensorRtOptimizationReport:
+        return TensorRtOptimizationReport(
+            parameter_count=self._parameter_count,
+            original_latency=self.cpu_latency,
+            optimized_latency=self.gpu_latency,
+            max_weight_error=self._max_weight_error,
+        )

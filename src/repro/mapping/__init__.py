@@ -1,0 +1,25 @@
+"""Occupancy mapping (the EGO-Planner grid and OctoMap substitutes).
+
+Two map representations, matching the paper's two generations:
+
+* :class:`~repro.mapping.voxel_grid.VoxelGrid` — a dense, fixed-size 3D
+  boolean grid like the one EGO-Planner uses (MLS-V2).  Fast access, but
+  memory grows with the cube of the mapped volume and it only covers a local
+  window around the vehicle.
+* :class:`~repro.mapping.octomap.OcTree` — a probabilistic octree in the
+  style of OctoMap (MLS-V3).  Hierarchical, prunes homogeneous regions,
+  supports log-odds updates from ray insertion, and covers the whole
+  environment.
+
+Both implement the same :class:`~repro.mapping.interface.OccupancyMap`
+protocol the planners consume, and :mod:`repro.mapping.inflation` provides
+the obstacle inflation used for clearance-aware collision checking
+(the "inflated bounding box" of Fig. 6).
+"""
+
+from repro.mapping.interface import OccupancyMap
+from repro.mapping.voxel_grid import VoxelGrid
+from repro.mapping.octomap import OcTree
+from repro.mapping.inflation import InflatedMap
+
+__all__ = ["OccupancyMap", "VoxelGrid", "OcTree", "InflatedMap"]

@@ -1,0 +1,109 @@
+"""Obstacle inflation for clearance-aware collision checking.
+
+The planners do not plan against raw voxels: each occupied voxel is inflated
+by the vehicle radius plus a safety margin, so any point whose distance to an
+occupied voxel is below the inflation radius counts as "in collision".  This
+is the "inflated bounding box" of Fig. 6 — and also the source of one of the
+MLS-V3 failure modes, because a drone that drifts *inside* the inflated
+boundary before replanning finishes can no longer find any valid escape path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Vec3
+from repro.mapping.interface import OccupancyMap
+
+
+@dataclass(frozen=True)
+class InflationConfig:
+    """Inflation radii."""
+
+    vehicle_radius: float = 0.35
+    safety_margin: float = 0.5
+
+    @property
+    def total_radius(self) -> float:
+        return self.vehicle_radius + self.safety_margin
+
+
+class InflatedMap:
+    """Wraps an occupancy map and answers clearance-aware collision queries.
+
+    The wrapped map is queried on a small spherical neighbourhood (sampled at
+    the map resolution) around the query point; if any sample is occupied the
+    point is considered in collision.
+    """
+
+    def __init__(self, base_map: OccupancyMap, config: InflationConfig | None = None) -> None:
+        self.base_map = base_map
+        self.config = config or InflationConfig()
+        self._offsets = self._build_offsets()
+
+    def _build_offsets(self) -> list[Vec3]:
+        """Sample offsets covering a sphere of the inflation radius."""
+        radius = self.config.total_radius
+        step = max(self.base_map.resolution, 0.25)
+        offsets = [Vec3.zero()]
+        steps = int(np.ceil(radius / step))
+        for ix in range(-steps, steps + 1):
+            for iy in range(-steps, steps + 1):
+                for iz in range(-steps, steps + 1):
+                    if ix == 0 and iy == 0 and iz == 0:
+                        continue
+                    offset = Vec3(ix * step, iy * step, iz * step)
+                    if offset.norm() <= radius:
+                        offsets.append(offset)
+        return offsets
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def inflation_radius(self) -> float:
+        return self.config.total_radius
+
+    def is_colliding(self, point: Vec3) -> bool:
+        """True if ``point`` is within the inflation radius of occupied space."""
+        for offset in self._offsets:
+            if self.base_map.is_occupied(point + offset):
+                return True
+        return False
+
+    def segment_colliding(self, start: Vec3, end: Vec3, step: float | None = None) -> bool:
+        """Check a straight segment by sampling at (half-)resolution steps."""
+        step = step or max(self.base_map.resolution * 0.5, 0.2)
+        length = start.distance_to(end)
+        if length < 1e-9:
+            return self.is_colliding(start)
+        samples = max(2, int(np.ceil(length / step)) + 1)
+        for i in range(samples):
+            t = i / (samples - 1)
+            if self.is_colliding(start.lerp(end, t)):
+                return True
+        return False
+
+    def path_colliding(self, waypoints: list[Vec3]) -> bool:
+        """Check a polyline of waypoints."""
+        for a, b in zip(waypoints, waypoints[1:]):
+            if self.segment_colliding(a, b):
+                return True
+        return False
+
+    def clearance_at(self, point: Vec3, max_radius: float = 3.0) -> float:
+        """Approximate distance to the nearest occupied voxel, capped at ``max_radius``."""
+        step = max(self.base_map.resolution, 0.25)
+        radius = step
+        while radius <= max_radius:
+            samples = max(6, int(2 * np.pi * radius / step))
+            for i in range(samples):
+                angle = 2 * np.pi * i / samples
+                for dz in (-radius / 2, 0.0, radius / 2):
+                    probe = point + Vec3(radius * np.cos(angle), radius * np.sin(angle), dz)
+                    if self.base_map.is_occupied(probe):
+                        return radius
+            radius += step
+        return max_radius

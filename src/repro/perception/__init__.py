@@ -1,0 +1,37 @@
+"""Marker detection (the OpenCV-ArUco and TPH-YOLO substitutes).
+
+The package is split into:
+
+* :mod:`repro.perception.aruco` — a from-scratch ArUco-style fiducial
+  dictionary: bit-pattern generation, marker rendering and ID decoding.
+* :mod:`repro.perception.image_ops` — the small image-processing toolbox the
+  classical detector needs (thresholding, connected components, perspective
+  sampling), implemented on plain NumPy arrays.
+* :mod:`repro.perception.classical` — the MLS-V1 detector: an
+  adaptive-threshold / quad-extraction / bit-decode pipeline analogous to
+  ``cv2.aruco.detectMarkers``.
+* :mod:`repro.perception.neural` — a small convolutional network implemented
+  in NumPy, trained on synthetic marker crops with augmentation.
+* :mod:`repro.perception.learned` — the MLS-V2/V3 detector: proposal
+  generation + neural classification + robust decode (the TPH-YOLO stand-in).
+* :mod:`repro.perception.detection` — the detection result types shared with
+  the decision-making module.
+* :mod:`repro.perception.validation` — the multi-frame validation gate used by
+  the state machine's VALIDATION state.
+"""
+
+from repro.perception.detection import Detection, DetectionFrame
+from repro.perception.aruco import ArucoDictionary
+from repro.perception.classical import ClassicalMarkerDetector
+from repro.perception.learned import LearnedMarkerDetector
+from repro.perception.validation import ValidationGate, ValidationResult
+
+__all__ = [
+    "Detection",
+    "DetectionFrame",
+    "ArucoDictionary",
+    "ClassicalMarkerDetector",
+    "LearnedMarkerDetector",
+    "ValidationGate",
+    "ValidationResult",
+]

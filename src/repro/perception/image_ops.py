@@ -1,0 +1,236 @@
+"""Minimal image-processing toolbox used by the marker detectors.
+
+Everything operates on plain ``(H, W)`` float arrays in [0, 1].  The
+functions cover exactly what the classical ArUco pipeline needs: local
+(adaptive) thresholding, connected-component labelling, component geometry,
+corner estimation and perspective sampling of a quadrilateral region — small,
+dependency-free equivalents of the OpenCV calls the original MLS-V1 detector
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Mean filter with a square window of ``2*radius + 1`` pixels.
+
+    Implemented with an integral image so it is O(1) per pixel; used by the
+    adaptive threshold.
+    """
+    if radius < 1:
+        return image.copy()
+    padded = np.pad(image, radius + 1, mode="edge")
+    integral = padded.cumsum(axis=0).cumsum(axis=1)
+    size = 2 * radius + 1
+    h, w = image.shape
+    top_left = integral[:h, :w]
+    top_right = integral[:h, size:size + w]
+    bottom_left = integral[size:size + h, :w]
+    bottom_right = integral[size:size + h, size:size + w]
+    window_sum = bottom_right - bottom_left - top_right + top_left
+    return window_sum / float(size * size)
+
+
+def adaptive_threshold(image: np.ndarray, radius: int = 8, offset: float = 0.05) -> np.ndarray:
+    """Binary mask of pixels darker than their local neighbourhood mean.
+
+    Marker borders are black on a lighter background, so the classical
+    detector thresholds for *dark* regions.
+    """
+    local_mean = box_filter(image, radius)
+    return image < (local_mean - offset)
+
+
+def connected_components(mask: np.ndarray, min_size: int = 12) -> list[np.ndarray]:
+    """Label 4-connected components of a boolean mask.
+
+    Returns one boolean mask per component with at least ``min_size`` pixels,
+    ordered largest first.  Implemented with an iterative flood fill (BFS) to
+    avoid recursion limits on large blobs.
+    """
+    visited = np.zeros_like(mask, dtype=bool)
+    components: list[np.ndarray] = []
+    h, w = mask.shape
+    for start_row in range(h):
+        for start_col in range(w):
+            if not mask[start_row, start_col] or visited[start_row, start_col]:
+                continue
+            stack = [(start_row, start_col)]
+            visited[start_row, start_col] = True
+            pixels = []
+            while stack:
+                row, col = stack.pop()
+                pixels.append((row, col))
+                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    nr, nc = row + dr, col + dc
+                    if 0 <= nr < h and 0 <= nc < w and mask[nr, nc] and not visited[nr, nc]:
+                        visited[nr, nc] = True
+                        stack.append((nr, nc))
+            if len(pixels) >= min_size:
+                component = np.zeros_like(mask, dtype=bool)
+                rows, cols = zip(*pixels)
+                component[list(rows), list(cols)] = True
+                components.append(component)
+    components.sort(key=lambda c: int(c.sum()), reverse=True)
+    return components
+
+
+@dataclass(frozen=True)
+class ComponentGeometry:
+    """Geometric summary of a connected component."""
+
+    centroid: tuple[float, float]
+    pixel_count: int
+    bounding_box: tuple[int, int, int, int]  # min_row, min_col, max_row, max_col
+    fill_ratio: float
+    aspect_ratio: float
+
+    @property
+    def width(self) -> int:
+        return self.bounding_box[3] - self.bounding_box[1] + 1
+
+    @property
+    def height(self) -> int:
+        return self.bounding_box[2] - self.bounding_box[0] + 1
+
+    @property
+    def side_length(self) -> float:
+        return (self.width + self.height) / 2.0
+
+
+def component_geometry(component: np.ndarray) -> ComponentGeometry:
+    """Centroid, bounding box, fill ratio and aspect ratio of a component."""
+    rows, cols = np.nonzero(component)
+    min_row, max_row = int(rows.min()), int(rows.max())
+    min_col, max_col = int(cols.min()), int(cols.max())
+    height = max_row - min_row + 1
+    width = max_col - min_col + 1
+    pixel_count = int(component.sum())
+    fill_ratio = pixel_count / float(height * width)
+    aspect = max(height, width) / max(1.0, float(min(height, width)))
+    return ComponentGeometry(
+        centroid=(float(rows.mean()), float(cols.mean())),
+        pixel_count=pixel_count,
+        bounding_box=(min_row, min_col, max_row, max_col),
+        fill_ratio=fill_ratio,
+        aspect_ratio=aspect,
+    )
+
+
+def estimate_quad_corners(component: np.ndarray) -> np.ndarray | None:
+    """Estimate the four corners of a roughly square component.
+
+    Finds the component pixels that are extremal along the two diagonal
+    directions (a cheap but effective corner heuristic for axis-aligned or
+    rotated squares).  Returns a ``(4, 2)`` array of (row, col) corners
+    ordered around the quad, or ``None`` if the component is degenerate.
+    """
+    rows, cols = np.nonzero(component)
+    if len(rows) < 4:
+        return None
+    points = np.stack([rows, cols], axis=1).astype(float)
+    sums = points[:, 0] + points[:, 1]
+    diffs = points[:, 0] - points[:, 1]
+    corners = np.array(
+        [
+            points[np.argmin(sums)],   # top-left-ish
+            points[np.argmin(diffs)],  # top-right-ish
+            points[np.argmax(sums)],   # bottom-right-ish
+            points[np.argmax(diffs)],  # bottom-left-ish
+        ]
+    )
+    # Degenerate (line-like) components produce nearly coincident corners.
+    perimeter = 0.0
+    for i in range(4):
+        perimeter += np.linalg.norm(corners[i] - corners[(i + 1) % 4])
+    if perimeter < 8.0:
+        return None
+    return corners
+
+
+def sample_quad_grid(image: np.ndarray, corners: np.ndarray, cells: int) -> np.ndarray:
+    """Sample a ``cells x cells`` grid of intensities inside a quadrilateral.
+
+    Uses bilinear interpolation of the quad defined by four corners ordered
+    (top-left, top-right, bottom-right, bottom-left); cell centres are sampled
+    so the result can be thresholded into a marker bit grid.
+    """
+    if corners.shape != (4, 2):
+        raise ValueError("corners must have shape (4, 2)")
+    h, w = image.shape
+    grid = np.zeros((cells, cells), dtype=float)
+    top_left, top_right, bottom_right, bottom_left = corners
+    for row in range(cells):
+        v = (row + 0.5) / cells
+        left = top_left + (bottom_left - top_left) * v
+        right = top_right + (bottom_right - top_right) * v
+        for col in range(cells):
+            u = (col + 0.5) / cells
+            point = left + (right - left) * u
+            r = min(h - 1, max(0, int(round(point[0]))))
+            c = min(w - 1, max(0, int(round(point[1]))))
+            grid[row, col] = image[r, c]
+    return grid
+
+
+def otsu_threshold(values: np.ndarray) -> float:
+    """Otsu's method on a flat array of intensities (used to binarise cells)."""
+    flat = values.ravel()
+    if flat.size == 0:
+        return 0.5
+    hist, edges = np.histogram(flat, bins=32, range=(0.0, 1.0))
+    total = flat.size
+    best_threshold = 0.5
+    best_variance = -1.0
+    cumulative = 0
+    cumulative_mean = 0.0
+    global_mean = float(flat.mean())
+    for i in range(32):
+        cumulative += hist[i]
+        if cumulative == 0 or cumulative == total:
+            continue
+        cumulative_mean += hist[i] * (edges[i] + edges[i + 1]) / 2.0
+        weight_background = cumulative / total
+        weight_foreground = 1.0 - weight_background
+        mean_background = cumulative_mean / cumulative
+        mean_foreground = (global_mean * total - cumulative_mean) / (total - cumulative)
+        variance = weight_background * weight_foreground * (mean_background - mean_foreground) ** 2
+        if variance > best_variance:
+            best_variance = variance
+            best_threshold = (edges[i] + edges[i + 1]) / 2.0
+    return best_threshold
+
+
+def crop_patch(image: np.ndarray, center: tuple[float, float], size: int) -> np.ndarray:
+    """Extract a square patch (zero-padded at the borders) centred on a pixel."""
+    if size < 1:
+        raise ValueError("patch size must be positive")
+    h, w = image.shape
+    half = size / 2.0
+    patch = np.zeros((size, size), dtype=float)
+    row0 = int(round(center[0] - half))
+    col0 = int(round(center[1] - half))
+    for r in range(size):
+        src_r = row0 + r
+        if src_r < 0 or src_r >= h:
+            continue
+        for c in range(size):
+            src_c = col0 + c
+            if 0 <= src_c < w:
+                patch[r, c] = image[src_r, src_c]
+    return patch
+
+
+def resize_patch(patch: np.ndarray, target: int) -> np.ndarray:
+    """Nearest-neighbour resize of a square patch to ``target x target``."""
+    if target < 1:
+        raise ValueError("target size must be positive")
+    h, w = patch.shape
+    rows = np.clip((np.arange(target) + 0.5) * h / target, 0, h - 1).astype(int)
+    cols = np.clip((np.arange(target) + 0.5) * w / target, 0, w - 1).astype(int)
+    return patch[np.ix_(rows, cols)]

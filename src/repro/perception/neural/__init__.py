@@ -1,0 +1,42 @@
+"""A small NumPy neural-network stack (the TPH-YOLO substitute's backbone).
+
+The paper replaces OpenCV detection with TPH-YOLO, a transformer-augmented
+YOLOv5 trained on simulator imagery with brightness / contrast / noise
+augmentation.  Shipping a PyTorch YOLO is neither possible offline nor
+necessary for the reproduction: the claim under test is *relative* — a
+learned detector trained with augmentation is more robust to the degradations
+(glare, fog, occlusion, low resolution) that break the classical pipeline.
+
+This subpackage provides the pieces needed to train such a detector from
+scratch in NumPy:
+
+* :mod:`repro.perception.neural.layers` — dense / convolution / pooling /
+  activation layers with forward and backward passes;
+* :mod:`repro.perception.neural.network` — a small CNN classifier
+  (:class:`MarkerPatchNet`) over marker-candidate patches;
+* :mod:`repro.perception.neural.dataset` — synthetic patch dataset generation
+  with the same augmentations the paper applies (random brightness, contrast,
+  Gaussian noise, occlusion);
+* :mod:`repro.perception.neural.training` — minibatch SGD training loop and
+  the cached :func:`load_pretrained_detector_net` used by the learned
+  detector.
+"""
+
+from repro.perception.neural.network import MarkerPatchNet
+from repro.perception.neural.dataset import PatchDatasetConfig, generate_patch_dataset
+from repro.perception.neural.training import (
+    TrainingConfig,
+    TrainingReport,
+    train_marker_net,
+    load_pretrained_detector_net,
+)
+
+__all__ = [
+    "MarkerPatchNet",
+    "PatchDatasetConfig",
+    "generate_patch_dataset",
+    "TrainingConfig",
+    "TrainingReport",
+    "train_marker_net",
+    "load_pretrained_detector_net",
+]

@@ -1,0 +1,144 @@
+"""Synthetic training data for the marker-patch network.
+
+The paper builds its dataset by placing markers in five AirSim maps at varied
+positions, orientations, weather and altitudes, then augments with random
+brightness / contrast changes and Gaussian noise (§III.A).  This module does
+the equivalent directly in patch space: positive patches are rendered marker
+crops at random scales, rotations and occlusions; negative patches are ground
+texture, obstacle edges and near-miss structured clutter.  The same
+augmentations are applied to both classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perception.aruco import ArucoDictionary, default_dictionary
+from repro.perception.image_ops import resize_patch
+from repro.perception.neural.network import PATCH_SIZE
+
+
+@dataclass(frozen=True)
+class PatchDatasetConfig:
+    """Knobs of the synthetic dataset generator."""
+
+    samples_per_class: int = 1200
+    min_marker_pixels: int = 7
+    max_marker_pixels: int = 16
+    brightness_range: tuple[float, float] = (-0.25, 0.25)
+    contrast_range: tuple[float, float] = (0.5, 1.3)
+    noise_std_range: tuple[float, float] = (0.0, 0.08)
+    max_occlusion: float = 0.35
+    glare_probability: float = 0.2
+    augment: bool = True
+
+
+def _render_marker_patch(
+    dictionary: ArucoDictionary, marker_id: int, size_pixels: int, rotation: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Render a marker at a given pixel size and in-plane rotation into a patch."""
+    patch = np.full((PATCH_SIZE, PATCH_SIZE), 0.45 + 0.1 * rng.random())
+    rows, cols = np.meshgrid(np.arange(PATCH_SIZE), np.arange(PATCH_SIZE), indexing="ij")
+    center = (PATCH_SIZE - 1) / 2.0
+    cos_r, sin_r = np.cos(rotation), np.sin(rotation)
+    local_r = cos_r * (rows - center) - sin_r * (cols - center)
+    local_c = sin_r * (rows - center) + cos_r * (cols - center)
+    half = size_pixels / 2.0
+    u = (local_c + half) / size_pixels
+    v = (local_r + half) / size_pixels
+    inside = (u >= 0) & (u <= 1) & (v >= 0) & (v <= 1)
+    values = dictionary.sample_at(marker_id, np.clip(u, 0, 1), np.clip(v, 0, 1))
+    values = np.where(values > 0.5, 0.92, 0.08)
+    patch = np.where(inside, values, patch)
+    return patch
+
+
+def _render_background_patch(rng: np.random.Generator) -> np.ndarray:
+    """Ground texture, edges and structured clutter that is *not* a marker."""
+    kind = rng.integers(4)
+    rows, cols = np.meshgrid(np.arange(PATCH_SIZE), np.arange(PATCH_SIZE), indexing="ij")
+    if kind == 0:
+        # Smooth ground texture.
+        patch = 0.45 + 0.08 * np.sin(rows * rng.uniform(0.2, 0.8)) * np.cos(cols * rng.uniform(0.2, 0.8))
+    elif kind == 1:
+        # A building edge: two constant regions split by a line.
+        angle = rng.uniform(0, np.pi)
+        boundary = (rows - PATCH_SIZE / 2) * np.cos(angle) + (cols - PATCH_SIZE / 2) * np.sin(angle)
+        patch = np.where(boundary > 0, rng.uniform(0.2, 0.4), rng.uniform(0.5, 0.8))
+    elif kind == 2:
+        # Checker-like clutter (near-miss: structured but not a valid code).
+        cell = max(2, int(rng.integers(2, 5)))
+        patch = (((rows // cell) + (cols // cell)) % 2).astype(float) * 0.6 + 0.2
+    else:
+        # A dark blob (shadow / rooftop corner).
+        center_r, center_c = rng.uniform(4, 12, size=2)
+        radius = rng.uniform(3, 8)
+        distance = np.sqrt((rows - center_r) ** 2 + (cols - center_c) ** 2)
+        patch = np.where(distance < radius, 0.15, 0.55)
+    return patch.astype(float)
+
+
+def _augment(patch: np.ndarray, config: PatchDatasetConfig, rng: np.random.Generator) -> np.ndarray:
+    """Brightness / contrast jitter, Gaussian noise, occlusion band and glare."""
+    out = patch.copy()
+    if not config.augment:
+        return np.clip(out, 0.0, 1.0)
+    contrast = rng.uniform(*config.contrast_range)
+    brightness = rng.uniform(*config.brightness_range)
+    out = 0.5 + (out - 0.5) * contrast + brightness
+    if rng.random() < 0.5 and config.max_occlusion > 0:
+        width = int(PATCH_SIZE * rng.uniform(0.0, config.max_occlusion))
+        if width > 0:
+            if rng.random() < 0.5:
+                out[:, :width] = 0.45
+            else:
+                out[:width, :] = 0.45
+    if rng.random() < config.glare_probability:
+        rows, cols = np.meshgrid(np.arange(PATCH_SIZE), np.arange(PATCH_SIZE), indexing="ij")
+        center_r, center_c = rng.uniform(0, PATCH_SIZE, size=2)
+        radius = rng.uniform(4, 12)
+        distance = np.sqrt((rows - center_r) ** 2 + (cols - center_c) ** 2)
+        out = out + np.clip(1.0 - distance / radius, 0, 1) * rng.uniform(0.3, 0.8)
+    noise_std = rng.uniform(*config.noise_std_range)
+    if noise_std > 0:
+        out = out + rng.normal(0.0, noise_std, size=out.shape)
+    return np.clip(out, 0.0, 1.0)
+
+
+def generate_patch_dataset(
+    config: PatchDatasetConfig | None = None,
+    dictionary: ArucoDictionary | None = None,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a balanced labelled dataset of marker / background patches.
+
+    Returns:
+        ``(patches, labels)`` where ``patches`` has shape
+        ``(2 * samples_per_class, PATCH_SIZE, PATCH_SIZE)`` and ``labels`` is
+        1 for marker, 0 for background.
+    """
+    config = config or PatchDatasetConfig()
+    dictionary = dictionary or default_dictionary()
+    rng = np.random.default_rng(seed)
+
+    patches = []
+    labels = []
+    marker_ids = list(dictionary.codes.keys())
+    for _ in range(config.samples_per_class):
+        marker_id = marker_ids[int(rng.integers(len(marker_ids)))]
+        size = int(rng.integers(config.min_marker_pixels, config.max_marker_pixels + 1))
+        rotation = rng.uniform(0, 2 * np.pi)
+        patch = _render_marker_patch(dictionary, marker_id, size, rotation, rng)
+        patches.append(_augment(patch, config, rng))
+        labels.append(1)
+    for _ in range(config.samples_per_class):
+        patch = _render_background_patch(rng)
+        patches.append(_augment(patch, config, rng))
+        labels.append(0)
+
+    patches_array = np.stack(patches)
+    labels_array = np.array(labels, dtype=int)
+    order = rng.permutation(len(labels_array))
+    return patches_array[order], labels_array[order]

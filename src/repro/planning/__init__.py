@@ -1,0 +1,42 @@
+"""Path planning (the EGO-Planner and OMPL/RRT* substitutes).
+
+* :mod:`repro.planning.astar` — grid A* search, the algorithm inside the
+  EGO-Planner-style local planner.
+* :mod:`repro.planning.ego_planner` — MLS-V2's planner: A* over the dense
+  local voxel window, with a bounded search pool and a straight-line fallback
+  (both limitations the paper documents).
+* :mod:`repro.planning.rrt_star` — MLS-V3's planner: RRT* with informed
+  sampling and rewiring over the global octree through an inflated collision
+  checker.
+* :mod:`repro.planning.straight_line` — MLS-V1's "planner": fly straight at
+  the goal (no obstacle avoidance).
+* :mod:`repro.planning.trajectory` — waypoint trajectories, shortcut
+  smoothing and the follower used by the decision-making module.
+* :mod:`repro.planning.spiral` — the spiral search pattern used by the SEARCH
+  state.
+"""
+
+from repro.planning.types import PlanningProblem, PlanningResult, PlannerStatus
+from repro.planning.astar import AStarPlanner, AStarConfig
+from repro.planning.straight_line import StraightLinePlanner
+from repro.planning.ego_planner import EgoLocalPlanner, EgoPlannerConfig
+from repro.planning.rrt_star import RrtStarPlanner, RrtStarConfig
+from repro.planning.trajectory import Trajectory, TrajectoryFollower, shortcut_smooth
+from repro.planning.spiral import spiral_search_waypoints
+
+__all__ = [
+    "PlanningProblem",
+    "PlanningResult",
+    "PlannerStatus",
+    "AStarPlanner",
+    "AStarConfig",
+    "StraightLinePlanner",
+    "EgoLocalPlanner",
+    "EgoPlannerConfig",
+    "RrtStarPlanner",
+    "RrtStarConfig",
+    "Trajectory",
+    "TrajectoryFollower",
+    "shortcut_smooth",
+    "spiral_search_waypoints",
+]

@@ -1,0 +1,167 @@
+"""Grid A* search.
+
+A 26-connected A* over voxel centres, used by the EGO-style local planner.
+The crucial, paper-faithful limitation is the **bounded search pool**: the
+open/closed sets may not exceed ``max_expansions`` nodes, because the real
+planner must answer within a real-time deadline.  Routing around a large
+building needs more expansions than the pool allows, which is exactly why
+MLS-V2 "often failed to find viable solutions within the constraints of the
+search pool size" (§II.B).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.geometry import Vec3
+from repro.planning.types import PlannerStatus, PlanningProblem, PlanningResult, path_length
+
+#: 26-connected neighbourhood offsets.
+_NEIGHBOURS = [
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if not (dx == 0 and dy == 0 and dz == 0)
+]
+
+
+@dataclass(frozen=True)
+class AStarConfig:
+    """Grid resolution and search-pool bound."""
+
+    resolution: float = 1.0
+    max_expansions: int = 2500
+    heuristic_weight: float = 1.2
+    vertical_cost_factor: float = 1.5
+
+
+class AStarPlanner:
+    """Bounded 3D grid A*.
+
+    Args:
+        is_colliding: collision predicate over world points (already
+            inflation-aware).
+        config: resolution and pool bounds.
+    """
+
+    name = "A*"
+
+    def __init__(
+        self,
+        is_colliding: Callable[[Vec3], bool],
+        config: AStarConfig | None = None,
+    ) -> None:
+        self.is_colliding = is_colliding
+        self.config = config or AStarConfig()
+
+    def plan(self, problem: PlanningProblem) -> PlanningResult:
+        """Search for a path from start to goal on the implicit grid."""
+        started = time.perf_counter()
+        cfg = self.config
+        resolution = cfg.resolution
+
+        def to_key(point: Vec3) -> tuple[int, int, int]:
+            return (
+                int(math.floor(point.x / resolution)),
+                int(math.floor(point.y / resolution)),
+                int(math.floor(point.z / resolution)),
+            )
+
+        def to_point(key: tuple[int, int, int]) -> Vec3:
+            return Vec3(
+                (key[0] + 0.5) * resolution,
+                (key[1] + 0.5) * resolution,
+                (key[2] + 0.5) * resolution,
+            )
+
+        if self.is_colliding(problem.start):
+            return PlanningResult.failure(PlannerStatus.START_IN_COLLISION)
+        if self.is_colliding(problem.goal):
+            return PlanningResult.failure(PlannerStatus.GOAL_IN_COLLISION)
+
+        start_key = to_key(problem.start)
+        goal_key = to_key(problem.goal)
+        goal_point = to_point(goal_key)
+
+        def heuristic(key: tuple[int, int, int]) -> float:
+            return to_point(key).distance_to(goal_point) * cfg.heuristic_weight
+
+        counter = itertools.count()
+        open_heap: list[tuple[float, int, tuple[int, int, int]]] = [
+            (heuristic(start_key), next(counter), start_key)
+        ]
+        came_from: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+        g_score: dict[tuple[int, int, int], float] = {start_key: 0.0}
+        closed: set[tuple[int, int, int]] = set()
+        expansions = 0
+
+        while open_heap:
+            if expansions >= cfg.max_expansions:
+                return PlanningResult.failure(
+                    PlannerStatus.TIMEOUT,
+                    iterations=expansions,
+                    planning_time=time.perf_counter() - started,
+                )
+            _, _, current = heapq.heappop(open_heap)
+            if current in closed:
+                continue
+            closed.add(current)
+            expansions += 1
+
+            if current == goal_key:
+                waypoints = self._reconstruct(came_from, current, to_point)
+                waypoints[0] = problem.start
+                waypoints[-1] = problem.goal
+                return PlanningResult(
+                    status=PlannerStatus.SUCCESS,
+                    waypoints=waypoints,
+                    cost=path_length(waypoints),
+                    iterations=expansions,
+                    nodes_expanded=expansions,
+                    planning_time=time.perf_counter() - started,
+                )
+
+            current_point = to_point(current)
+            for dx, dy, dz in _NEIGHBOURS:
+                neighbour = (current[0] + dx, current[1] + dy, current[2] + dz)
+                if neighbour in closed:
+                    continue
+                neighbour_point = to_point(neighbour)
+                if not problem.min_altitude <= neighbour_point.z <= problem.max_altitude:
+                    continue
+                if self.is_colliding(neighbour_point):
+                    continue
+                step_cost = current_point.distance_to(neighbour_point)
+                if dz != 0:
+                    step_cost *= cfg.vertical_cost_factor
+                tentative = g_score[current] + step_cost
+                if tentative < g_score.get(neighbour, float("inf")):
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = current
+                    heapq.heappush(
+                        open_heap,
+                        (tentative + heuristic(neighbour), next(counter), neighbour),
+                    )
+
+        return PlanningResult.failure(
+            PlannerStatus.NO_PATH_FOUND,
+            iterations=expansions,
+            planning_time=time.perf_counter() - started,
+        )
+
+    @staticmethod
+    def _reconstruct(
+        came_from: dict, current: tuple[int, int, int], to_point: Callable
+    ) -> list[Vec3]:
+        keys = [current]
+        while current in came_from:
+            current = came_from[current]
+            keys.append(current)
+        keys.reverse()
+        return [to_point(key) for key in keys]

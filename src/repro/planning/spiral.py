@@ -1,0 +1,52 @@
+"""Spiral search pattern for the SEARCH state.
+
+"Upon reaching this position, if no marker is detected, the drone attempts a
+spiral search pattern" (§III.D).  The pattern is an Archimedean spiral of
+waypoints at the search altitude, centred on the briefed GPS estimate of the
+landing site, expanding until the configured radius is covered.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Vec3
+
+
+def spiral_search_waypoints(
+    center: Vec3,
+    altitude: float,
+    max_radius: float = 15.0,
+    spacing: float = 3.0,
+    points_per_turn: int = 8,
+) -> list[Vec3]:
+    """Waypoints of an outward Archimedean spiral.
+
+    Args:
+        center: spiral centre (the GPS estimate of the marker).
+        altitude: altitude to fly the pattern at.
+        max_radius: radius at which the spiral stops.
+        spacing: radial growth per full turn (the camera footprint overlap).
+        points_per_turn: angular sampling density.
+
+    Returns:
+        Waypoints starting just outside the centre and growing outward.
+    """
+    if max_radius <= 0 or spacing <= 0 or points_per_turn < 3:
+        raise ValueError("spiral parameters must be positive (>= 3 points per turn)")
+
+    waypoints = [center.with_z(altitude)]
+    angle = 0.0
+    angle_step = 2.0 * math.pi / points_per_turn
+    radius = spacing / points_per_turn
+    while radius <= max_radius:
+        waypoints.append(
+            Vec3(
+                center.x + radius * math.cos(angle),
+                center.y + radius * math.sin(angle),
+                altitude,
+            )
+        )
+        angle += angle_step
+        radius += spacing / points_per_turn
+    return waypoints

@@ -1,0 +1,31 @@
+"""MLS-V1's "planner": fly straight at the goal.
+
+The first-generation system has no obstacle-avoidance capability ("an
+OpenCV-based marker detector without object avoidance capabilities", §IV.B.2)
+so its path to any goal is a straight line at the commanded altitude.  The
+collision consequences show up in Table I.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.planning.types import PlannerStatus, PlanningProblem, PlanningResult, path_length
+
+
+class StraightLinePlanner:
+    """Direct start-to-goal segment, no collision checking."""
+
+    name = "straight-line"
+
+    def plan(self, problem: PlanningProblem) -> PlanningResult:
+        started = time.perf_counter()
+        waypoints = [problem.start, problem.goal]
+        return PlanningResult(
+            status=PlannerStatus.SUCCESS,
+            waypoints=waypoints,
+            cost=path_length(waypoints),
+            iterations=1,
+            nodes_expanded=0,
+            planning_time=time.perf_counter() - started,
+        )

@@ -1,0 +1,64 @@
+"""Shared planning problem / result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import Vec3
+
+
+class PlannerStatus(enum.Enum):
+    """Outcome of a planning attempt."""
+
+    SUCCESS = "success"
+    NO_PATH_FOUND = "no_path_found"
+    TIMEOUT = "timeout"
+    START_IN_COLLISION = "start_in_collision"
+    GOAL_IN_COLLISION = "goal_in_collision"
+
+
+@dataclass(frozen=True)
+class PlanningProblem:
+    """A single point-to-point planning query.
+
+    Attributes:
+        start: current vehicle position.
+        goal: requested target position.
+        time_budget: wall-clock budget in seconds the planner may spend; on
+            the HIL platform this budget shrinks when the CPU is saturated.
+        min_altitude / max_altitude: altitude band the path must respect.
+    """
+
+    start: Vec3
+    goal: Vec3
+    time_budget: float = 0.15
+    min_altitude: float = 1.0
+    max_altitude: float = 40.0
+
+
+@dataclass
+class PlanningResult:
+    """What a planner returned."""
+
+    status: PlannerStatus
+    waypoints: list[Vec3] = field(default_factory=list)
+    cost: float = float("inf")
+    iterations: int = 0
+    nodes_expanded: int = 0
+    planning_time: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is PlannerStatus.SUCCESS and len(self.waypoints) >= 2
+
+    @staticmethod
+    def failure(status: PlannerStatus, iterations: int = 0, planning_time: float = 0.0) -> "PlanningResult":
+        return PlanningResult(
+            status=status, iterations=iterations, planning_time=planning_time
+        )
+
+
+def path_length(waypoints: list[Vec3]) -> float:
+    """Total Euclidean length of a waypoint polyline."""
+    return sum(a.distance_to(b) for a, b in zip(waypoints, waypoints[1:]))

@@ -1,0 +1,189 @@
+"""Forward / downward depth camera producing point clouds.
+
+The real platform carries a forward-facing Realsense D435 and a
+downward-facing D435i.  This sensor casts a grid of rays into the world and
+returns the hit points as a point cloud in world coordinates.  Two realism
+effects matter to the reproduction:
+
+* obstacles with restricted visibility (tree canopies) only return points
+  once the drone is close, reproducing the "unseen obstacle" failure mode;
+* under heavy precipitation or strong GPS degradation, spurious points are
+  injected ("erroneous pointclouds during IRL testing", Fig. 5c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Pose, Vec3
+from repro.world.world import World
+
+
+@dataclass
+class PointCloud:
+    """A set of 3D points in world coordinates plus capture metadata."""
+
+    points: list[Vec3] = field(default_factory=list)
+    timestamp: float = 0.0
+    sensor_position: Vec3 = field(default_factory=Vec3.zero)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def merged_with(self, other: "PointCloud") -> "PointCloud":
+        return PointCloud(
+            points=self.points + other.points,
+            timestamp=max(self.timestamp, other.timestamp),
+            sensor_position=self.sensor_position,
+        )
+
+
+@dataclass(frozen=True)
+class DepthCameraSpec:
+    """Ray-grid layout of the simulated depth camera."""
+
+    horizontal_rays: int = 13
+    vertical_rays: int = 9
+    horizontal_fov_degrees: float = 86.0
+    vertical_fov_degrees: float = 57.0
+    max_range: float = 15.0
+    min_range: float = 0.3
+
+
+class DepthCamera:
+    """Casts a grid of rays and returns the resulting point cloud.
+
+    Args:
+        spec: ray-grid layout (defaults approximate a Realsense D435).
+        facing: ``"forward"`` or ``"down"``; the platform mounts one of each.
+        depth_noise_std: Gaussian range noise in metres.
+        seed: seed for noise and spurious-point injection.
+    """
+
+    def __init__(
+        self,
+        spec: DepthCameraSpec | None = None,
+        facing: str = "forward",
+        depth_noise_std: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if facing not in ("forward", "down"):
+            raise ValueError("facing must be 'forward' or 'down'")
+        self.spec = spec or DepthCameraSpec()
+        self.facing = facing
+        self.depth_noise_std = depth_noise_std
+        self._rng = np.random.default_rng(seed)
+        self._directions_body = self._build_ray_grid()
+
+    def _build_ray_grid(self) -> list[Vec3]:
+        spec = self.spec
+        h_angles = np.linspace(
+            -math.radians(spec.horizontal_fov_degrees) / 2,
+            math.radians(spec.horizontal_fov_degrees) / 2,
+            spec.horizontal_rays,
+        )
+        v_angles = np.linspace(
+            -math.radians(spec.vertical_fov_degrees) / 2,
+            math.radians(spec.vertical_fov_degrees) / 2,
+            spec.vertical_rays,
+        )
+        directions = []
+        for v in v_angles:
+            for h in h_angles:
+                if self.facing == "forward":
+                    # Body frame: x forward, y left, z up.
+                    direction = Vec3(
+                        math.cos(v) * math.cos(h),
+                        math.cos(v) * math.sin(h),
+                        math.sin(v),
+                    )
+                else:
+                    # Downward: z is the main axis, the grid fans around -z.
+                    direction = Vec3(
+                        math.sin(v),
+                        math.cos(v) * math.sin(h),
+                        -math.cos(v) * math.cos(h),
+                    )
+                directions.append(direction.normalized())
+        return directions
+
+    def capture(
+        self,
+        world: World,
+        true_pose: Pose,
+        estimated_pose: Pose | None = None,
+        timestamp: float = 0.0,
+        position_error: Vec3 | None = None,
+    ) -> PointCloud:
+        """Cast the ray grid from the drone's true pose.
+
+        Args:
+            world: the simulated world.
+            true_pose: ground-truth pose used for ray casting.
+            estimated_pose: the pose the mapping module believes; returned
+                points are expressed relative to it, so state-estimation error
+                shifts the whole cloud (this is how GPS drift corrupts the
+                map, Fig. 5c/5d).
+            timestamp: simulation time.
+            position_error: explicit extra offset applied to the points
+                (used by the real-world fault models).
+        """
+        estimated_pose = estimated_pose or true_pose
+        estimation_offset = estimated_pose.position - true_pose.position
+        if position_error is not None:
+            estimation_offset = estimation_offset + position_error
+
+        points: list[Vec3] = []
+        weather = world.weather
+        dropout = min(0.6, 0.25 * weather.precipitation)
+
+        for direction_body in self._directions_body:
+            if dropout > 0 and self._rng.random() < dropout:
+                continue
+            direction_world = true_pose.orientation.rotate(direction_body)
+            hit = world.raycast(
+                true_pose.position,
+                direction_world,
+                self.spec.max_range,
+                visible_only_from=true_pose.position,
+            )
+            if hit is None or hit < self.spec.min_range:
+                continue
+            noisy_range = hit + float(self._rng.normal(0.0, self.depth_noise_std))
+            noisy_range = max(self.spec.min_range, noisy_range)
+            point = true_pose.position + direction_world * noisy_range
+            points.append(point + estimation_offset)
+
+        points.extend(
+            self._spurious_points(weather, estimated_pose)
+        )
+        return PointCloud(
+            points=points,
+            timestamp=timestamp,
+            sensor_position=estimated_pose.position,
+        )
+
+    def _spurious_points(self, weather, estimated_pose: Pose) -> list[Vec3]:
+        """Phantom returns caused by rain speckle / severe GPS degradation."""
+        severity = max(weather.precipitation, weather.gps_degradation)
+        if severity < 0.5:
+            return []
+        count = int(self._rng.poisson(3.0 * (severity - 0.5)))
+        spurious = []
+        for _ in range(count):
+            direction = Vec3(
+                float(self._rng.normal()), float(self._rng.normal()), float(self._rng.normal())
+            )
+            try:
+                direction = direction.normalized()
+            except ValueError:
+                continue
+            distance = float(self._rng.uniform(1.0, self.spec.max_range * 0.5))
+            spurious.append(estimated_pose.position + direction * distance)
+        return spurious

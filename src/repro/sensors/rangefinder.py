@@ -1,0 +1,41 @@
+"""Downward LiDAR rangefinder (TFMini Plus substitute).
+
+Measures the distance straight down from the drone to the first surface
+(ground, rooftop or canopy).  Used by the autopilot for altitude hold during
+the final descent and by the landing state to decide when touchdown occurred.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Pose, Vec3
+from repro.world.world import World
+
+
+class Rangefinder:
+    """Single-beam downward range sensor.
+
+    Args:
+        max_range: sensor range limit (the TFMini Plus reads to ~12 m).
+        noise_std: Gaussian range noise in metres.
+        seed: RNG seed.
+    """
+
+    def __init__(self, max_range: float = 12.0, noise_std: float = 0.02, seed: int = 0) -> None:
+        self.max_range = max_range
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, world: World, true_pose: Pose) -> float | None:
+        """Range to the surface directly below, or ``None`` if out of range."""
+        hit = world.raycast(
+            true_pose.position,
+            Vec3(0.0, 0.0, -1.0),
+            self.max_range,
+            visible_only_from=true_pose.position,
+        )
+        if hit is None:
+            return None
+        noisy = hit + float(self._rng.normal(0.0, self.noise_std))
+        return max(0.0, noisy)

@@ -1,0 +1,36 @@
+"""Simulated quadrotor vehicle and flight stack (the PX4 substitute).
+
+The landing system talks to the vehicle the way the paper's companion
+computer talks to PX4: it reads a state estimate and sends position/velocity
+setpoints in offboard mode.  Internally the package provides:
+
+* :mod:`repro.vehicle.state` — ground-truth and estimated state containers.
+* :mod:`repro.vehicle.dynamics` — simplified quadrotor dynamics with
+  velocity/acceleration limits and wind forces.
+* :mod:`repro.vehicle.wind` — mean wind plus first-order gust model.
+* :mod:`repro.vehicle.ekf` — a per-axis Kalman filter fusing GPS, barometer
+  and IMU, which inherits GPS drift exactly as the real EKF does.
+* :mod:`repro.vehicle.controller` — cascaded position -> velocity controller.
+* :mod:`repro.vehicle.autopilot` — flight modes (takeoff, offboard, land,
+  failsafe RTL) wrapping dynamics + estimation + control into one steppable
+  object.
+"""
+
+from repro.vehicle.state import VehicleState, EstimatedState
+from repro.vehicle.dynamics import QuadrotorDynamics, QuadrotorLimits
+from repro.vehicle.wind import WindModel
+from repro.vehicle.ekf import PositionEkf
+from repro.vehicle.controller import PositionController
+from repro.vehicle.autopilot import Autopilot, FlightMode
+
+__all__ = [
+    "VehicleState",
+    "EstimatedState",
+    "QuadrotorDynamics",
+    "QuadrotorLimits",
+    "WindModel",
+    "PositionEkf",
+    "PositionController",
+    "Autopilot",
+    "FlightMode",
+]

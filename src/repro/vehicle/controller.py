@@ -1,0 +1,73 @@
+"""Cascaded position -> velocity controller.
+
+The outer loop converts a position setpoint into a velocity command with a
+proportional gain and speed limits, mirroring PX4's multicopter position
+controller in offboard mode.  Trajectory following in the landing system
+works by feeding successive waypoints of the planned path to this controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Vec3
+from repro.vehicle.state import EstimatedState
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Outer-loop gains and limits."""
+
+    position_p: float = 1.1
+    max_horizontal_speed: float = 5.0
+    max_vertical_speed: float = 2.0
+    max_descent_speed: float = 1.2
+    approach_slowdown_radius: float = 3.0
+
+
+class PositionController:
+    """Proportional position controller producing velocity setpoints."""
+
+    def __init__(self, gains: ControllerGains | None = None) -> None:
+        self.gains = gains or ControllerGains()
+
+    def velocity_command(
+        self,
+        estimate: EstimatedState,
+        target: Vec3,
+        speed_limit: float | None = None,
+    ) -> Vec3:
+        """Velocity setpoint that moves the vehicle towards ``target``.
+
+        Args:
+            estimate: current state estimate.
+            target: position setpoint in world coordinates.
+            speed_limit: optional extra cap on the horizontal speed (the
+                landing state uses a low cap during the final descent).
+        """
+        gains = self.gains
+        error = target - estimate.position
+        command = error * gains.position_p
+
+        # Slow down smoothly when close to the target.
+        distance = error.norm()
+        if distance < gains.approach_slowdown_radius:
+            scale = max(0.15, distance / gains.approach_slowdown_radius)
+            command = command * scale
+
+        horizontal_cap = gains.max_horizontal_speed
+        if speed_limit is not None:
+            horizontal_cap = min(horizontal_cap, speed_limit)
+        horizontal = Vec3(command.x, command.y, 0.0).clamp_norm(horizontal_cap)
+
+        vertical = command.z
+        if vertical > gains.max_vertical_speed:
+            vertical = gains.max_vertical_speed
+        elif vertical < -gains.max_descent_speed:
+            vertical = -gains.max_descent_speed
+
+        return Vec3(horizontal.x, horizontal.y, vertical)
+
+    def is_at(self, estimate: EstimatedState, target: Vec3, tolerance: float = 0.6) -> bool:
+        """Whether the vehicle has reached the setpoint within ``tolerance``."""
+        return estimate.position.distance_to(target) <= tolerance

@@ -1,0 +1,131 @@
+"""Simplified quadrotor dynamics.
+
+The model is a point mass with first-order velocity tracking, acceleration
+and velocity limits, a tilt-derived attitude, and additive wind drag.  It is
+deliberately simpler than a full rigid-body model, but it preserves the
+properties that drive the paper's failure modes:
+
+* finite acceleration means the vehicle overshoots sharp trajectory corners
+  (the MLS-V3 "sharp RRT* corner" failures);
+* wind displaces the vehicle during the final descent (real-world accuracy);
+* commanded velocity is tracked with a lag, so late replanning can fail to
+  prevent an impending collision (HIL deadline misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Quaternion, Vec3
+from repro.vehicle.state import VehicleState
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class QuadrotorLimits:
+    """Performance envelope of the simulated airframe (F450-class)."""
+
+    max_horizontal_speed: float = 6.0
+    max_vertical_speed: float = 2.5
+    max_acceleration: float = 4.0
+    max_tilt_radians: float = 0.5
+    velocity_time_constant: float = 0.45
+    drag_coefficient: float = 0.15
+
+
+class QuadrotorDynamics:
+    """First-order velocity-tracking quadrotor model.
+
+    The controller commands a velocity; the airframe tracks it with a time
+    constant and acceleration limit, while wind adds a drag force proportional
+    to the relative airspeed.
+    """
+
+    def __init__(
+        self,
+        limits: QuadrotorLimits | None = None,
+        initial_state: VehicleState | None = None,
+    ) -> None:
+        self.limits = limits or QuadrotorLimits()
+        self.state = initial_state or VehicleState()
+        self._commanded_velocity = Vec3.zero()
+        self._commanded_yaw = 0.0
+
+    # ------------------------------------------------------------------ #
+    # commands
+    # ------------------------------------------------------------------ #
+    def command_velocity(self, velocity: Vec3, yaw: float | None = None) -> None:
+        """Set the velocity setpoint (clamped to the airframe envelope)."""
+        horizontal = Vec3(velocity.x, velocity.y, 0.0).clamp_norm(
+            self.limits.max_horizontal_speed
+        )
+        vertical = max(-self.limits.max_vertical_speed, min(self.limits.max_vertical_speed, velocity.z))
+        self._commanded_velocity = Vec3(horizontal.x, horizontal.y, vertical)
+        if yaw is not None:
+            self._commanded_yaw = yaw
+
+    @property
+    def commanded_velocity(self) -> Vec3:
+        return self._commanded_velocity
+
+    # ------------------------------------------------------------------ #
+    # integration
+    # ------------------------------------------------------------------ #
+    def step(self, dt: float, wind: Vec3 = Vec3.zero()) -> VehicleState:
+        """Advance the dynamics by ``dt`` seconds and return the new state."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        limits = self.limits
+        state = self.state
+
+        # First-order velocity tracking towards the commanded velocity.
+        velocity_error = self._commanded_velocity - state.velocity
+        desired_accel = velocity_error / limits.velocity_time_constant
+        # Wind adds drag proportional to relative airspeed.
+        relative_air = wind - state.velocity
+        desired_accel = desired_accel + relative_air * limits.drag_coefficient
+        accel = desired_accel.clamp_norm(limits.max_acceleration)
+
+        new_velocity = state.velocity + accel * dt
+        horizontal = Vec3(new_velocity.x, new_velocity.y, 0.0).clamp_norm(
+            limits.max_horizontal_speed * 1.2
+        )
+        vertical = max(
+            -limits.max_vertical_speed * 1.2,
+            min(limits.max_vertical_speed * 1.2, new_velocity.z),
+        )
+        new_velocity = Vec3(horizontal.x, horizontal.y, vertical)
+        new_position = state.position + new_velocity * dt
+
+        # Keep the vehicle on or above the ground.
+        if new_position.z < 0.0:
+            new_position = new_position.with_z(0.0)
+            new_velocity = new_velocity.with_z(max(0.0, new_velocity.z))
+
+        # Attitude: tilt in the direction of horizontal acceleration, bounded.
+        tilt_x = max(-limits.max_tilt_radians, min(limits.max_tilt_radians, accel.x / GRAVITY))
+        tilt_y = max(-limits.max_tilt_radians, min(limits.max_tilt_radians, accel.y / GRAVITY))
+        orientation = Quaternion.from_euler(-tilt_y * 0.5, tilt_x * 0.5, self._commanded_yaw)
+
+        angular_rate = Vec3(
+            0.0, 0.0, (self._commanded_yaw - state.orientation.yaw) / max(dt, 1e-6)
+        ).clamp_norm(2.0)
+
+        self.state = VehicleState(
+            position=new_position,
+            velocity=new_velocity,
+            acceleration=accel,
+            orientation=orientation,
+            angular_rate=angular_rate,
+        )
+        return self.state
+
+    def teleport(self, position: Vec3, yaw: float = 0.0) -> None:
+        """Reset the vehicle to a new position at rest (scenario initialisation)."""
+        self.state = VehicleState(
+            position=position,
+            orientation=Quaternion.from_yaw(yaw),
+        )
+        self._commanded_velocity = Vec3.zero()
+        self._commanded_yaw = yaw

@@ -1,0 +1,39 @@
+"""Simulated 3D environments (the AirSim / Unreal Engine substitute).
+
+The paper generates its evaluation scenarios from ten AirSim maps covering
+rural, suburban and urban areas, each with a landing marker, false-positive
+markers and varying weather.  This package builds the equivalent synthetic
+worlds:
+
+* :mod:`repro.world.obstacles` — buildings, trees, poles and water bodies.
+* :mod:`repro.world.markers` — ArUco-style landing pads and decoys.
+* :mod:`repro.world.weather` — fog, rain, glare, wind and GPS-degradation.
+* :mod:`repro.world.world` — the queryable :class:`World` container.
+* :mod:`repro.world.map_generator` — procedural rural / suburban / urban maps.
+* :mod:`repro.world.scenario` — a single test scenario (map + marker layout +
+  weather + start / target positions).
+* :mod:`repro.world.scenario_suite` — the 10-map x 10-scenario evaluation
+  suite used by the benchmark harness.
+"""
+
+from repro.world.obstacles import Obstacle, ObstacleKind
+from repro.world.markers import Marker
+from repro.world.weather import Weather, WeatherCondition
+from repro.world.world import World
+from repro.world.map_generator import MapStyle, generate_map
+from repro.world.scenario import Scenario
+from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
+
+__all__ = [
+    "Obstacle",
+    "ObstacleKind",
+    "Marker",
+    "Weather",
+    "WeatherCondition",
+    "World",
+    "MapStyle",
+    "generate_map",
+    "Scenario",
+    "ScenarioSuite",
+    "build_evaluation_suite",
+]

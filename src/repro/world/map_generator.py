@@ -1,0 +1,160 @@
+"""Procedural generation of rural, suburban and urban maps.
+
+The paper builds ten AirSim maps "encompassing both rural, suburban and urban
+areas".  This module generates statistically comparable synthetic maps: the
+urban maps are dense with tall buildings (the obstacle class that defeats the
+local planner), suburban maps mix houses, walls and trees, and rural maps are
+mostly open with scattered trees and the occasional water body.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import AABB, Vec3
+from repro.world.obstacles import Obstacle, building, pole, tree, wall, water
+from repro.world.world import World
+
+
+class MapStyle(enum.Enum):
+    """The three environment classes used in the evaluation."""
+
+    RURAL = "rural"
+    SUBURBAN = "suburban"
+    URBAN = "urban"
+
+
+@dataclass(frozen=True)
+class MapSpec:
+    """Parameters controlling procedural map generation."""
+
+    style: MapStyle
+    side_length: float = 120.0
+    max_altitude: float = 60.0
+    building_count: int = 0
+    tree_count: int = 0
+    pole_count: int = 0
+    wall_count: int = 0
+    water_count: int = 0
+
+    @staticmethod
+    def for_style(style: MapStyle) -> "MapSpec":
+        if style is MapStyle.RURAL:
+            return MapSpec(style=style, building_count=1, tree_count=14, pole_count=2, water_count=2)
+        if style is MapStyle.SUBURBAN:
+            return MapSpec(style=style, building_count=6, tree_count=8, pole_count=5, wall_count=3, water_count=1)
+        return MapSpec(style=style, building_count=12, tree_count=3, pole_count=8, wall_count=2, water_count=0)
+
+
+# Region around the origin kept clear of obstacles so the drone always has a
+# safe take-off column, and region around the scenario target kept clear so a
+# landing is always physically possible (the paper's scenarios are all
+# completable; failures come from the system, not from impossible maps).
+_SPAWN_CLEARANCE = 8.0
+
+
+def _sample_position(
+    rng: np.random.Generator, spec: MapSpec, keep_clear: list[Vec3], clearance: float
+) -> tuple[float, float]:
+    """Draw an (x, y) inside the map, away from the keep-clear points."""
+    half = spec.side_length / 2.0 - 5.0
+    for _ in range(200):
+        x = float(rng.uniform(-half, half))
+        y = float(rng.uniform(-half, half))
+        candidate = Vec3(x, y, 0.0)
+        if all(candidate.horizontal_distance_to(p) > clearance for p in keep_clear):
+            return x, y
+    # Degenerate spec (tiny map, huge clearance): fall back to the edge.
+    return half, half
+
+
+def generate_map(
+    style: MapStyle,
+    seed: int,
+    name: str | None = None,
+    spec: MapSpec | None = None,
+    keep_clear: list[Vec3] | None = None,
+) -> World:
+    """Generate a procedural map of the given style.
+
+    Args:
+        style: rural / suburban / urban.
+        seed: deterministic seed; the same (style, seed) always yields the
+            same map.
+        name: optional map name; defaults to ``"{style}-{seed}"``.
+        spec: override the default obstacle counts.
+        keep_clear: world positions that must stay obstacle-free (the take-off
+            point and the scenario's landing target).
+
+    Returns:
+        A fully populated :class:`World` with clear weather (the scenario
+        applies weather afterwards).
+    """
+    spec = spec or MapSpec.for_style(style)
+    rng = np.random.default_rng(seed)
+    keep_clear = list(keep_clear or []) + [Vec3.zero()]
+
+    half = spec.side_length / 2.0
+    bounds = AABB(
+        Vec3(-half, -half, 0.0), Vec3(half, half, spec.max_altitude)
+    )
+    obstacles: list[Obstacle] = []
+
+    for i in range(spec.building_count):
+        x, y = _sample_position(rng, spec, keep_clear, _SPAWN_CLEARANCE + 6.0)
+        width = float(rng.uniform(8.0, 22.0)) if style is MapStyle.URBAN else float(rng.uniform(6.0, 14.0))
+        depth = float(rng.uniform(8.0, 22.0)) if style is MapStyle.URBAN else float(rng.uniform(6.0, 14.0))
+        if style is MapStyle.URBAN:
+            height = float(rng.uniform(12.0, 35.0))
+        elif style is MapStyle.SUBURBAN:
+            height = float(rng.uniform(5.0, 12.0))
+        else:
+            height = float(rng.uniform(3.0, 6.0))
+        obstacles.append(building(x, y, width, depth, height, name=f"building-{i}"))
+
+    for i in range(spec.tree_count):
+        x, y = _sample_position(rng, spec, keep_clear, _SPAWN_CLEARANCE)
+        radius = float(rng.uniform(2.0, 5.0))
+        height = float(rng.uniform(6.0, 14.0))
+        obstacles.extend(tree(x, y, radius, height, name=f"tree-{i}"))
+
+    for i in range(spec.pole_count):
+        x, y = _sample_position(rng, spec, keep_clear, _SPAWN_CLEARANCE)
+        obstacles.append(pole(x, y, float(rng.uniform(4.0, 10.0)), name=f"pole-{i}"))
+
+    for i in range(spec.wall_count):
+        x, y = _sample_position(rng, spec, keep_clear, _SPAWN_CLEARANCE)
+        length = float(rng.uniform(8.0, 20.0))
+        if rng.random() < 0.5:
+            obstacles.append(wall(x, y, x + length, y, float(rng.uniform(2.0, 4.0)), name=f"wall-{i}"))
+        else:
+            obstacles.append(wall(x, y, x, y + length, float(rng.uniform(2.0, 4.0)), name=f"wall-{i}"))
+
+    for i in range(spec.water_count):
+        x, y = _sample_position(rng, spec, keep_clear, _SPAWN_CLEARANCE + 4.0)
+        obstacles.append(
+            water(x, y, float(rng.uniform(8.0, 20.0)), float(rng.uniform(8.0, 20.0)), name=f"water-{i}")
+        )
+
+    return World(
+        name=name or f"{style.value}-{seed}",
+        bounds=bounds,
+        obstacles=obstacles,
+    )
+
+
+def prune_obstacles_near(world: World, point: Vec3, radius: float) -> None:
+    """Remove obstacles whose footprint encroaches on a keep-clear point.
+
+    The scenario generator calls this after choosing the target-marker
+    position so that the landing pad itself is always reachable.
+    """
+    kept: list[Obstacle] = []
+    for obstacle in world.obstacles:
+        closest = obstacle.bounds.closest_point(point.with_z(0.5))
+        if closest.horizontal_distance_to(point) >= radius:
+            kept.append(obstacle)
+    world.obstacles = kept

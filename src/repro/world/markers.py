@@ -1,0 +1,63 @@
+"""Landing markers placed in the world.
+
+Each marker is a square ArUco-style fiducial lying flat on the ground.  The
+scenario generator places one *target* marker near the GPS goal plus several
+*decoy* (false-positive) markers with different IDs, reproducing the paper's
+experiment setup ("The target marker, along with false positive markers, was
+placed within a defined radius of the target").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Vec3
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A square fiducial marker lying flat on the ground.
+
+    Attributes:
+        marker_id: the ID encoded in the marker's bit pattern.
+        position: centre of the marker on the ground plane.
+        size: side length in metres (the paper uses pads of roughly 0.5-1 m).
+        yaw: in-plane rotation of the marker, radians.
+        is_target: True for the genuine landing pad, False for decoys.
+        occlusion: fraction of the marker surface covered by debris or shadow
+            edges, in [0, 1).  Drawn by the scenario generator; high values
+            make classical detection fail first.
+    """
+
+    marker_id: int
+    position: Vec3
+    size: float = 0.8
+    yaw: float = 0.0
+    is_target: bool = False
+    occlusion: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("marker size must be positive")
+        if not 0.0 <= self.occlusion < 1.0:
+            raise ValueError("occlusion must be in [0, 1)")
+
+    @property
+    def corners(self) -> list[Vec3]:
+        """The four corners of the marker square in world coordinates."""
+        import math
+
+        half = self.size / 2.0
+        cos_y, sin_y = math.cos(self.yaw), math.sin(self.yaw)
+        local = [(-half, -half), (half, -half), (half, half), (-half, half)]
+        return [
+            Vec3(
+                self.position.x + cos_y * lx - sin_y * ly,
+                self.position.y + sin_y * lx + cos_y * ly,
+                self.position.z,
+            )
+            for lx, ly in local
+        ]
+
+    def horizontal_distance_to(self, point: Vec3) -> float:
+        return self.position.horizontal_distance_to(point)

@@ -1,0 +1,168 @@
+"""Static obstacles populating the simulated maps.
+
+Obstacles come in a handful of kinds that matter differently to the landing
+system:
+
+* ``BUILDING`` — large solid boxes; the obstacle class that defeats the
+  local A* planner in the paper (its search pool cannot route around them).
+* ``TREE`` — a trunk plus a *canopy* whose occupancy is only discovered when
+  the depth sensor gets close; this reproduces the "trapped in foliage"
+  failure of EGO-Planner described in §II.B.
+* ``POLE`` — thin vertical obstacles (light posts, antennas) that stress the
+  map resolution.
+* ``WATER`` — zero-height regions that are not collision hazards for flight
+  but make any landing inside them a failure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import AABB, Vec3
+
+
+class ObstacleKind(enum.Enum):
+    """Category of a static obstacle."""
+
+    BUILDING = "building"
+    TREE = "tree"
+    POLE = "pole"
+    WALL = "wall"
+    WATER = "water"
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A static obstacle occupying an axis-aligned volume.
+
+    Attributes:
+        kind: the obstacle category.
+        bounds: the solid volume of the obstacle.
+        name: human-readable identifier used in logs and failure reports.
+        late_visibility_range: distance (m) at which a depth sensor first
+            perceives this obstacle.  ``None`` means it is visible at the
+            sensor's full range.  Tree canopies use a short range to model the
+            paper's "at-the-time unseen obstacles" that trap the local planner.
+    """
+
+    kind: ObstacleKind
+    bounds: AABB
+    name: str = ""
+    late_visibility_range: float | None = None
+
+    @property
+    def height(self) -> float:
+        return self.bounds.maximum.z
+
+    @property
+    def is_collision_hazard(self) -> bool:
+        """Water is a landing hazard but not a flight-collision hazard."""
+        return self.kind is not ObstacleKind.WATER
+
+    def contains(self, point: Vec3, margin: float = 0.0) -> bool:
+        return self.bounds.contains(point, tol=margin)
+
+    def visible_from(self, sensor_position: Vec3) -> bool:
+        """Whether a depth sensor at ``sensor_position`` can perceive this obstacle.
+
+        Late-visibility obstacles (tree canopies) only appear once the sensor is
+        within ``late_visibility_range`` of the obstacle surface.
+        """
+        if self.late_visibility_range is None:
+            return True
+        return self.bounds.distance_to_point(sensor_position) <= self.late_visibility_range
+
+
+def building(
+    center_x: float,
+    center_y: float,
+    width: float,
+    depth: float,
+    height: float,
+    name: str = "building",
+) -> Obstacle:
+    """A solid rectangular building resting on the ground."""
+    return Obstacle(
+        kind=ObstacleKind.BUILDING,
+        bounds=AABB.from_ground_footprint(center_x, center_y, width, depth, height),
+        name=name,
+    )
+
+
+def tree(
+    center_x: float,
+    center_y: float,
+    canopy_radius: float,
+    height: float,
+    name: str = "tree",
+    canopy_visibility_range: float = 6.0,
+) -> list[Obstacle]:
+    """A tree: a thin always-visible trunk plus a late-visibility canopy.
+
+    The canopy starts at 40% of the tree height, matching the geometry that
+    lets a drone fly *over* foliage it has not yet mapped and then descend
+    into it — the EGO-Planner failure mode reported in the paper.
+    """
+    trunk = Obstacle(
+        kind=ObstacleKind.TREE,
+        bounds=AABB.from_ground_footprint(center_x, center_y, 0.6, 0.6, height * 0.5),
+        name=f"{name}-trunk",
+    )
+    canopy_base = height * 0.4
+    canopy = Obstacle(
+        kind=ObstacleKind.TREE,
+        bounds=AABB(
+            Vec3(center_x - canopy_radius, center_y - canopy_radius, canopy_base),
+            Vec3(center_x + canopy_radius, center_y + canopy_radius, height),
+        ),
+        name=f"{name}-canopy",
+        late_visibility_range=canopy_visibility_range,
+    )
+    return [trunk, canopy]
+
+
+def pole(center_x: float, center_y: float, height: float, name: str = "pole") -> Obstacle:
+    """A thin vertical pole (light post / antenna)."""
+    return Obstacle(
+        kind=ObstacleKind.POLE,
+        bounds=AABB.from_ground_footprint(center_x, center_y, 0.4, 0.4, height),
+        name=name,
+    )
+
+
+def wall(
+    start_x: float,
+    start_y: float,
+    end_x: float,
+    end_y: float,
+    height: float,
+    thickness: float = 0.5,
+    name: str = "wall",
+) -> Obstacle:
+    """A straight wall segment between two ground points."""
+    lo_x, hi_x = sorted((start_x, end_x))
+    lo_y, hi_y = sorted((start_y, end_y))
+    # Give the thin axis at least the requested thickness.
+    if hi_x - lo_x < thickness:
+        mid = (lo_x + hi_x) / 2
+        lo_x, hi_x = mid - thickness / 2, mid + thickness / 2
+    if hi_y - lo_y < thickness:
+        mid = (lo_y + hi_y) / 2
+        lo_y, hi_y = mid - thickness / 2, mid + thickness / 2
+    return Obstacle(
+        kind=ObstacleKind.WALL,
+        bounds=AABB(Vec3(lo_x, lo_y, 0.0), Vec3(hi_x, hi_y, height)),
+        name=name,
+    )
+
+
+def water(
+    center_x: float, center_y: float, width: float, depth: float, name: str = "water"
+) -> Obstacle:
+    """A water body: flat, not a flight hazard, but an invalid landing surface."""
+    return Obstacle(
+        kind=ObstacleKind.WATER,
+        bounds=AABB.from_ground_footprint(center_x, center_y, width, depth, 0.05),
+        name=name,
+    )

@@ -1,0 +1,161 @@
+"""A single evaluation scenario.
+
+A scenario fixes everything that varies between runs in the paper's
+experiments: the map, the weather, the initial GPS estimate of the landing
+site, the true target-marker position (offset from that estimate), and the
+decoy markers placed within a radius of the target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Vec3
+from repro.world.map_generator import MapStyle, generate_map, prune_obstacles_near
+from repro.world.markers import Marker
+from repro.world.weather import Weather
+from repro.world.world import World
+
+#: ArUco IDs used for the genuine landing pad and for decoys.  The target ID
+#: is fixed (the mission briefs the drone with it); decoys draw from the rest
+#: of the dictionary.
+TARGET_MARKER_ID = 7
+DECOY_MARKER_IDS = (3, 11, 19, 23, 29, 35, 41)
+
+
+@dataclass
+class Scenario:
+    """A fully specified landing test case.
+
+    Attributes:
+        scenario_id: unique identifier within the evaluation suite.
+        map_name: name of the underlying map.
+        map_style: rural / suburban / urban.
+        map_seed: seed used to generate the map geometry.
+        weather: weather applied for this run.
+        start_position: where the drone is initialised (map origin in the paper).
+        gps_target: the briefed GPS estimate of the landing site.
+        marker_position: the true position of the target marker (the GPS
+            estimate is deliberately offset from it).
+        decoy_count: number of false-positive markers placed near the target.
+        cruise_altitude: altitude for the transit and search phases.
+        seed: scenario-level seed for sensor noise and decoy placement.
+    """
+
+    scenario_id: str
+    map_style: MapStyle
+    map_seed: int
+    weather: Weather
+    gps_target: Vec3
+    marker_position: Vec3
+    start_position: Vec3 = field(default_factory=Vec3.zero)
+    decoy_count: int = 2
+    cruise_altitude: float = 15.0
+    marker_size: float = 0.8
+    seed: int = 0
+    map_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.map_name:
+            self.map_name = f"{self.map_style.value}-{self.map_seed}"
+
+    @property
+    def is_adverse_weather(self) -> bool:
+        return self.weather.is_adverse
+
+    def build_world(self) -> World:
+        """Instantiate the world for this scenario (map + markers + weather)."""
+        rng = np.random.default_rng(self.seed)
+        world = generate_map(
+            self.map_style,
+            self.map_seed,
+            name=self.map_name,
+            keep_clear=[self.start_position, self.marker_position],
+        )
+        prune_obstacles_near(world, self.marker_position, radius=4.0)
+        world.weather = self.weather
+
+        occlusion_target = 0.0
+        if self.weather.is_adverse:
+            # Adverse weather scenarios also tend to have partially obscured
+            # pads (shadows, debris) — the conditions §III.A calls out.
+            occlusion_target = float(rng.uniform(0.0, 0.3))
+
+        markers = [
+            Marker(
+                marker_id=TARGET_MARKER_ID,
+                position=self.marker_position,
+                size=self.marker_size,
+                yaw=float(rng.uniform(0, 2 * math.pi)),
+                is_target=True,
+                occlusion=occlusion_target,
+            )
+        ]
+        for i in range(self.decoy_count):
+            angle = float(rng.uniform(0, 2 * math.pi))
+            distance = float(rng.uniform(6.0, 18.0))
+            candidate = Vec3(
+                self.marker_position.x + distance * math.cos(angle),
+                self.marker_position.y + distance * math.sin(angle),
+                0.0,
+            )
+            if not world.bounds.contains(candidate.with_z(0.1)):
+                continue
+            markers.append(
+                Marker(
+                    marker_id=DECOY_MARKER_IDS[i % len(DECOY_MARKER_IDS)],
+                    position=candidate,
+                    size=self.marker_size,
+                    yaw=float(rng.uniform(0, 2 * math.pi)),
+                    is_target=False,
+                    occlusion=float(rng.uniform(0.0, 0.2)),
+                )
+            )
+        world.markers = markers
+        return world
+
+    @staticmethod
+    def generate(
+        scenario_id: str,
+        map_style: MapStyle,
+        map_seed: int,
+        adverse_weather: bool,
+        seed: int,
+        gps_error_range: tuple[float, float] = (1.0, 5.0),
+        target_distance_range: tuple[float, float] = (25.0, 45.0),
+    ) -> "Scenario":
+        """Randomly draw one scenario as the paper's generator does.
+
+        The marker is placed at a random bearing and distance from the start,
+        and the briefed GPS target is offset from the true marker position by
+        a bounded error, so the drone must *search* for the pad on arrival.
+        """
+        rng = np.random.default_rng(seed)
+        bearing = float(rng.uniform(0, 2 * math.pi))
+        distance = float(rng.uniform(*target_distance_range))
+        marker_position = Vec3(
+            distance * math.cos(bearing), distance * math.sin(bearing), 0.0
+        )
+        gps_error = float(rng.uniform(*gps_error_range))
+        gps_bearing = float(rng.uniform(0, 2 * math.pi))
+        gps_target = Vec3(
+            marker_position.x + gps_error * math.cos(gps_bearing),
+            marker_position.y + gps_error * math.sin(gps_bearing),
+            0.0,
+        )
+        weather = (
+            Weather.sample_adverse(rng) if adverse_weather else Weather.sample_normal(rng)
+        )
+        return Scenario(
+            scenario_id=scenario_id,
+            map_style=map_style,
+            map_seed=map_seed,
+            weather=weather,
+            gps_target=gps_target,
+            marker_position=marker_position,
+            decoy_count=int(rng.integers(1, 4)),
+            seed=seed,
+        )

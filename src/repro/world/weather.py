@@ -1,0 +1,160 @@
+"""Weather model.
+
+The paper evaluates half of its scenarios under adverse weather and reports
+the concrete effects that matter to the landing pipeline: reduced image
+quality (fog, rain, glare), GPS drift "likely caused by poor weather", and
+wind during the final descent.  The :class:`Weather` dataclass captures those
+effects as scalar severities that the sensor, vehicle and real-world modules
+consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class WeatherCondition(enum.Enum):
+    """Named weather presets used by the scenario generator."""
+
+    CLEAR = "clear"
+    OVERCAST = "overcast"
+    FOG = "fog"
+    RAIN = "rain"
+    SUN_GLARE = "sun_glare"
+    WIND = "wind"
+    STORM = "storm"
+
+    @property
+    def is_adverse(self) -> bool:
+        return self not in (WeatherCondition.CLEAR, WeatherCondition.OVERCAST)
+
+
+@dataclass(frozen=True)
+class Weather:
+    """Environmental conditions affecting sensing and flight.
+
+    All severities are in [0, 1]; zero means no effect.
+
+    Attributes:
+        condition: the named preset this instance was derived from.
+        visibility: image contrast multiplier in (0, 1]; fog and rain lower it.
+        glare: probability-like severity of saturated bright patches in the
+            camera image (sun glare on the marker).
+        image_noise: standard deviation of additive pixel noise (0-1 scale).
+        wind_speed: mean horizontal wind in m/s.
+        gust_intensity: multiplier for turbulent gusts on top of the mean wind.
+        gps_degradation: severity of GPS drift / multipath; drives the
+            real-world GPS drift model and HDOP/VDOP inflation.
+        precipitation: rain intensity, which adds depth-sensor speckle noise.
+    """
+
+    condition: WeatherCondition = WeatherCondition.CLEAR
+    visibility: float = 1.0
+    glare: float = 0.0
+    image_noise: float = 0.01
+    wind_speed: float = 0.0
+    gust_intensity: float = 0.0
+    gps_degradation: float = 0.0
+    precipitation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.visibility <= 1.0:
+            raise ValueError("visibility must be in (0, 1]")
+        for name in ("glare", "gust_intensity", "gps_degradation", "precipitation"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.wind_speed < 0:
+            raise ValueError("wind_speed must be non-negative")
+        if self.image_noise < 0:
+            raise ValueError("image_noise must be non-negative")
+
+    @property
+    def is_adverse(self) -> bool:
+        return self.condition.is_adverse
+
+    @staticmethod
+    def clear() -> "Weather":
+        return Weather(condition=WeatherCondition.CLEAR)
+
+    @staticmethod
+    def preset(condition: WeatherCondition, severity: float = 1.0) -> "Weather":
+        """Build a weather instance from a named preset scaled by ``severity``.
+
+        ``severity`` in [0, 1] linearly scales the adverse effects, allowing the
+        scenario generator to draw "mild fog" as well as "dense fog".
+        """
+        if not 0.0 <= severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+        s = severity
+        if condition is WeatherCondition.CLEAR:
+            return Weather(condition=condition)
+        if condition is WeatherCondition.OVERCAST:
+            return Weather(
+                condition=condition,
+                visibility=1.0 - 0.1 * s,
+                image_noise=0.015,
+                gps_degradation=0.05 * s,
+            )
+        if condition is WeatherCondition.FOG:
+            return Weather(
+                condition=condition,
+                visibility=max(0.25, 1.0 - 0.6 * s),
+                image_noise=0.02 + 0.03 * s,
+                gps_degradation=0.2 * s,
+            )
+        if condition is WeatherCondition.RAIN:
+            return Weather(
+                condition=condition,
+                visibility=max(0.35, 1.0 - 0.45 * s),
+                image_noise=0.02 + 0.05 * s,
+                wind_speed=2.0 * s,
+                gust_intensity=0.3 * s,
+                gps_degradation=0.35 * s,
+                precipitation=s,
+            )
+        if condition is WeatherCondition.SUN_GLARE:
+            return Weather(
+                condition=condition,
+                visibility=1.0,
+                glare=0.4 + 0.5 * s,
+                image_noise=0.015,
+            )
+        if condition is WeatherCondition.WIND:
+            return Weather(
+                condition=condition,
+                visibility=1.0 - 0.05 * s,
+                wind_speed=3.0 + 5.0 * s,
+                gust_intensity=0.5 * s,
+                image_noise=0.015,
+                gps_degradation=0.1 * s,
+            )
+        if condition is WeatherCondition.STORM:
+            return Weather(
+                condition=condition,
+                visibility=max(0.3, 1.0 - 0.55 * s),
+                glare=0.0,
+                image_noise=0.03 + 0.05 * s,
+                wind_speed=4.0 + 6.0 * s,
+                gust_intensity=0.6 * s,
+                gps_degradation=0.3 + 0.5 * s,
+                precipitation=s,
+            )
+        raise ValueError(f"unhandled weather condition {condition}")
+
+    @staticmethod
+    def sample_adverse(rng: np.random.Generator, severity_range: tuple[float, float] = (0.5, 1.0)) -> "Weather":
+        """Draw a random adverse-weather preset, as the scenario generator does."""
+        adverse = [c for c in WeatherCondition if c.is_adverse]
+        condition = adverse[int(rng.integers(len(adverse)))]
+        severity = float(rng.uniform(*severity_range))
+        return Weather.preset(condition, severity)
+
+    @staticmethod
+    def sample_normal(rng: np.random.Generator) -> "Weather":
+        """Draw a random benign-weather preset."""
+        condition = WeatherCondition.CLEAR if rng.random() < 0.6 else WeatherCondition.OVERCAST
+        return Weather.preset(condition, float(rng.uniform(0.0, 1.0)))

@@ -1,0 +1,182 @@
+"""Tests for the Jetson platform model, TensorRT model and real-world effects."""
+
+import numpy as np
+import pytest
+
+from repro.core.landing_system import ModuleTimings
+from repro.core.platform import DesktopPlatform
+from repro.geometry import Pose, Vec3
+from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
+from repro.hil.monitor import ResourceMonitor, UtilisationSample
+from repro.hil.tensorrt import TensorRtEngine
+from repro.perception.neural.network import PATCH_SIZE
+from repro.perception.neural.training import load_pretrained_detector_net
+from repro.realworld.field_test import FieldTestConfig, build_field_world, simplify_scenario
+from repro.realworld.gps_drift import characterise_gps_drift
+from repro.realworld.hardware import CUAV_X7_PRO, PIXHAWK_2_4_8
+from repro.realworld.sensor_faults import characterise_point_cloud_faults
+from repro.world.map_generator import MapStyle
+from repro.world.obstacles import building
+from repro.world.scenario import Scenario
+from repro.world.weather import Weather, WeatherCondition
+
+
+def timings(detection=0.03, mapping=0.028, planning=0.12):
+    return ModuleTimings(detection=detection, mapping=mapping, planning=planning)
+
+
+class TestDesktopPlatform:
+    def test_never_misses_deadlines(self):
+        platform = DesktopPlatform()
+        for _ in range(50):
+            budget = platform.schedule_tick(timings(), 0.2)
+            assert budget.allow_replan and not budget.deadline_missed
+
+
+class TestJetsonPlatform:
+    def test_heavy_load_misses_deadlines(self):
+        platform = JetsonNanoPlatform(seed=1)
+        misses = 0
+        for _ in range(100):
+            budget = platform.schedule_tick(timings(), 0.2)
+            misses += budget.deadline_missed
+        assert misses > 0
+        assert platform.deadline_miss_rate > 0.0
+
+    def test_light_load_keeps_up(self):
+        platform = JetsonNanoPlatform(seed=2)
+        misses = 0
+        for _ in range(100):
+            budget = platform.schedule_tick(timings(detection=0.012, mapping=0.0, planning=0.001), 0.2)
+            misses += budget.deadline_missed
+        assert misses < 10
+
+    def test_memory_stays_within_budget_and_is_high(self):
+        platform = JetsonNanoPlatform(seed=3, map_memory_provider=lambda: 4_000_000)
+        budget = platform.schedule_tick(timings(), 0.2)
+        assert budget.memory_mb <= JetsonNanoSpec().usable_memory_mb
+        assert budget.memory_mb > 1800.0
+
+    def test_real_world_spec_uses_more_resources(self):
+        hil = JetsonNanoPlatform(spec=JetsonNanoSpec(), seed=4)
+        field = JetsonNanoPlatform(spec=JetsonNanoSpec.real_world(), seed=4)
+        hil_budget = [hil.schedule_tick(timings(), 0.2) for _ in range(50)]
+        field_budget = [field.schedule_tick(timings(), 0.2) for _ in range(50)]
+        assert np.mean([b.cpu_utilisation for b in field_budget]) > np.mean(
+            [b.cpu_utilisation for b in hil_budget]
+        )
+        assert field_budget[0].memory_mb > hil_budget[0].memory_mb
+
+    def test_monitor_records_samples(self):
+        platform = JetsonNanoPlatform(seed=5)
+        for _ in range(10):
+            platform.schedule_tick(timings(), 0.2)
+        assert len(platform.monitor) == 10
+        summary = platform.monitor.summary()
+        assert 0.0 < summary["mean_cpu_utilisation"] <= 1.0
+
+
+class TestResourceMonitor:
+    def test_statistics(self):
+        monitor = ResourceMonitor()
+        monitor.record(UtilisationSample(0.0, 0.5, 1000, 0.2))
+        monitor.record(UtilisationSample(1.0, 0.9, 2000, 0.4))
+        assert monitor.mean_cpu == pytest.approx(0.7)
+        assert monitor.peak_memory_mb == 2000
+        assert monitor.peak_cpu == pytest.approx(0.9)
+
+    def test_empty_monitor_is_safe(self):
+        monitor = ResourceMonitor()
+        assert monitor.mean_cpu == 0.0 and monitor.peak_memory_mb == 0.0
+
+
+class TestTensorRt:
+    def test_quantised_network_agrees_with_original(self):
+        network = load_pretrained_detector_net()
+        engine = TensorRtEngine(network)
+        patches = np.random.default_rng(0).random((8, PATCH_SIZE, PATCH_SIZE))
+        original = network.predict_probability(patches)
+        optimized = engine.predict_probability(patches)
+        assert np.max(np.abs(original - optimized)) < 0.05
+
+    def test_optimization_report_shows_speedup(self):
+        engine = TensorRtEngine(load_pretrained_detector_net())
+        report = engine.optimization_report()
+        assert report.speedup > 2.0
+        assert report.parameter_count > 0
+        assert report.max_weight_error < 0.01
+
+
+class TestHardwareProfiles:
+    def test_cuav_is_quieter_than_pixhawk(self):
+        pixhawk = PIXHAWK_2_4_8.effective_imu_quality
+        cuav = CUAV_X7_PRO.effective_imu_quality
+        assert cuav.accel_noise_std < pixhawk.accel_noise_std
+        assert cuav.gyro_noise_std < pixhawk.gyro_noise_std
+
+
+class TestGpsDriftCharacterisation:
+    def test_drift_larger_in_storm(self):
+        calm = characterise_gps_drift(Weather.clear(), duration=60, seed=1)
+        storm = characterise_gps_drift(Weather.preset(WeatherCondition.STORM, 1.0), duration=60, seed=1)
+        assert storm.mean_error > calm.mean_error
+        assert storm.max_error > 1.0
+
+    def test_dop_stays_in_band_while_drifting(self):
+        storm = characterise_gps_drift(Weather.preset(WeatherCondition.STORM, 1.0), duration=60, seed=2)
+        assert storm.all_dop_in_band
+        assert storm.mean_hdop <= 8.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            characterise_gps_drift(Weather.clear(), duration=0)
+
+
+class TestPointCloudFaults:
+    def make_world(self, weather):
+        from repro.geometry import AABB
+        from repro.world.world import World
+
+        return World(
+            name="faults",
+            bounds=AABB(Vec3(-40, -40, 0), Vec3(40, 40, 30)),
+            obstacles=[building(6, 0, 4, 4, 8)],
+            weather=weather,
+        )
+
+    def test_estimation_error_displaces_points(self):
+        world = self.make_world(Weather.clear())
+        clean = characterise_point_cloud_faults(world, Pose.at(Vec3(0, 0, 5)), Vec3.zero(), captures=3)
+        drifted = characterise_point_cloud_faults(world, Pose.at(Vec3(0, 0, 5)), Vec3(2.0, 0, 0), captures=3)
+        assert drifted.displaced_fraction > clean.displaced_fraction
+        assert drifted.mean_displacement > clean.mean_displacement
+
+    def test_invalid_captures_rejected(self):
+        world = self.make_world(Weather.clear())
+        with pytest.raises(ValueError):
+            characterise_point_cloud_faults(world, Pose.at(Vec3(0, 0, 5)), Vec3.zero(), captures=0)
+
+
+class TestFieldTestPreparation:
+    def make_scenario(self):
+        return Scenario.generate("field", MapStyle.RURAL, 2, adverse_weather=False, seed=21)
+
+    def test_simplification_shrinks_distance(self):
+        config = FieldTestConfig(max_target_distance=20.0)
+        scenario = self.make_scenario()
+        simplified = simplify_scenario(scenario, config)
+        assert simplified.marker_position.horizontal_norm() <= 20.0 + 1e-6
+        # The GPS error offset is preserved.
+        original_offset = scenario.gps_target - scenario.marker_position
+        new_offset = simplified.gps_target - simplified.marker_position
+        assert new_offset.is_close(original_offset, tol=1e-6)
+
+    def test_field_weather_always_has_wind_and_gps_degradation(self):
+        config = FieldTestConfig()
+        simplified = simplify_scenario(self.make_scenario(), config)
+        assert simplified.weather.gps_degradation >= config.minimum_gps_degradation
+        assert simplified.weather.wind_speed >= config.minimum_wind_speed
+
+    def test_build_field_world_has_target(self):
+        world = build_field_world(self.make_scenario())
+        assert world.target_marker is not None

@@ -1,0 +1,194 @@
+"""Tests for the dense voxel grid, the octree and obstacle inflation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Vec3
+from repro.mapping.inflation import InflatedMap, InflationConfig
+from repro.mapping.interface import OccupancyMap
+from repro.mapping.octomap import OcTree, OcTreeConfig
+from repro.mapping.voxel_grid import VoxelGrid, VoxelGridConfig
+from repro.sensors.depth import PointCloud
+
+coord = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+def cloud_at(points, sensor=Vec3(0, 0, 5)):
+    return PointCloud(points=points, sensor_position=sensor)
+
+
+class TestVoxelGrid:
+    def test_implements_protocol(self):
+        assert isinstance(VoxelGrid(), OccupancyMap)
+
+    def test_integrated_points_become_occupied(self):
+        grid = VoxelGrid()
+        grid.integrate_cloud(cloud_at([Vec3(2, 3, 4)]))
+        assert grid.is_occupied(Vec3(2, 3, 4))
+        assert grid.is_known(Vec3(2, 3, 4))
+        assert grid.occupied_voxel_count() == 1
+
+    def test_unknown_space_reports_free(self):
+        grid = VoxelGrid()
+        assert not grid.is_occupied(Vec3(5, 5, 5))
+        assert not grid.is_known(Vec3(5, 5, 5))
+
+    def test_points_outside_window_ignored(self):
+        grid = VoxelGrid(VoxelGridConfig(window_size=10.0))
+        grid.integrate_cloud(cloud_at([Vec3(50, 0, 2)]))
+        assert grid.occupied_voxel_count() == 0
+
+    def test_recenter_forgets_old_data(self):
+        grid = VoxelGrid(VoxelGridConfig(window_size=16.0))
+        grid.integrate_cloud(cloud_at([Vec3(2, 0, 2)]))
+        assert grid.is_occupied(Vec3(2, 0, 2))
+        grid.recenter(Vec3(30, 0, 5))
+        assert not grid.is_occupied(Vec3(2, 0, 2))
+
+    def test_small_moves_do_not_recenter(self):
+        grid = VoxelGrid(VoxelGridConfig(window_size=24.0))
+        grid.integrate_cloud(cloud_at([Vec3(2, 0, 2)]))
+        grid.recenter(Vec3(1.0, 0, 5))
+        assert grid.is_occupied(Vec3(2, 0, 2))
+
+    def test_mark_free_clears_voxel(self):
+        grid = VoxelGrid()
+        grid.integrate_cloud(cloud_at([Vec3(2, 0, 2)]))
+        grid.mark_free(Vec3(2, 0, 2))
+        assert not grid.is_occupied(Vec3(2, 0, 2))
+        assert grid.is_known(Vec3(2, 0, 2))
+
+    def test_memory_is_dense(self):
+        small = VoxelGrid(VoxelGridConfig(window_size=10.0, height=10.0, resolution=1.0))
+        large = VoxelGrid(VoxelGridConfig(window_size=40.0, height=10.0, resolution=1.0))
+        assert large.memory_bytes() > small.memory_bytes() * 10
+
+    def test_occupied_points_lists_voxel_centers(self):
+        grid = VoxelGrid()
+        grid.integrate_cloud(cloud_at([Vec3(2, 3, 4)]))
+        points = grid.occupied_points()
+        assert len(points) == 1
+        assert points[0].distance_to(Vec3(2, 3, 4)) < 1.0
+
+
+class TestOcTree:
+    def test_implements_protocol(self):
+        assert isinstance(OcTree(), OccupancyMap)
+
+    def test_hit_marks_occupied_after_updates(self):
+        tree = OcTree()
+        for _ in range(3):
+            tree.update_voxel(Vec3(2, 2, 2), hit=True)
+        assert tree.is_occupied(Vec3(2, 2, 2))
+        assert tree.occupancy_probability(Vec3(2, 2, 2)) > 0.8
+
+    def test_misses_carve_free_space(self):
+        tree = OcTree()
+        tree.update_voxel(Vec3(2, 2, 2), hit=True)
+        for _ in range(5):
+            tree.update_voxel(Vec3(2, 2, 2), hit=False)
+        assert not tree.is_occupied(Vec3(2, 2, 2))
+        assert tree.is_known(Vec3(2, 2, 2))
+
+    def test_unknown_space_probability_half(self):
+        tree = OcTree()
+        assert tree.occupancy_probability(Vec3(10, 10, 10)) == pytest.approx(0.5)
+
+    def test_insert_ray_occupies_endpoint_and_frees_path(self):
+        tree = OcTree()
+        origin = Vec3(0, 0, 5)
+        end = Vec3(6, 0, 5)
+        for _ in range(3):
+            tree.insert_ray(origin, end)
+        assert tree.is_occupied(end)
+        assert not tree.is_occupied(Vec3(3, 0, 5))
+        assert tree.is_known(Vec3(3, 0, 5))
+
+    def test_integrate_cloud_uses_sensor_origin(self):
+        tree = OcTree()
+        cloud = PointCloud(points=[Vec3(4, 0, 5)] * 4, sensor_position=Vec3(0, 0, 5))
+        tree.integrate_cloud(cloud)
+        assert tree.is_occupied(Vec3(4, 0, 5))
+
+    def test_out_of_bounds_points_ignored(self):
+        tree = OcTree(OcTreeConfig(size=32.0, origin=Vec3(-16, -16, -16)))
+        tree.update_voxel(Vec3(100, 0, 0), hit=True)
+        assert tree.occupied_voxel_count() == 0
+
+    def test_log_odds_clamped(self):
+        tree = OcTree()
+        for _ in range(100):
+            tree.update_voxel(Vec3(1, 1, 1), hit=True)
+        # A long run of misses must still be able to free the voxel eventually.
+        for _ in range(20):
+            tree.update_voxel(Vec3(1, 1, 1), hit=False)
+        assert not tree.is_occupied(Vec3(1, 1, 1))
+
+    def test_pruning_reduces_node_count(self):
+        tree = OcTree(OcTreeConfig(size=16.0, origin=Vec3(-8, -8, -8), resolution=1.0))
+        # Fill a 4x4x4 block completely so entire subtrees agree and prune.
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    for _ in range(2):
+                        tree.update_voxel(Vec3(x + 0.5, y + 0.5, z + 0.5), hit=True)
+        before = tree.node_count()
+        tree.prune()
+        assert tree.node_count() <= before
+
+    def test_memory_grows_with_observations(self):
+        tree = OcTree()
+        empty_memory = tree.memory_bytes()
+        for i in range(20):
+            tree.update_voxel(Vec3(i, 0, 2), hit=True)
+        assert tree.memory_bytes() > empty_memory
+
+    @given(coord, coord, st.floats(min_value=0.5, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_is_consistent_with_updates(self, x, y, z):
+        tree = OcTree()
+        point = Vec3(x, y, z)
+        for _ in range(3):
+            tree.update_voxel(point, hit=True)
+        assert tree.is_occupied(point)
+        assert tree.is_known(point)
+
+
+class TestInflation:
+    def make_map_with_obstacle(self):
+        tree = OcTree()
+        for _ in range(3):
+            tree.update_voxel(Vec3(5, 0, 5), hit=True)
+        return InflatedMap(tree, InflationConfig(vehicle_radius=0.4, safety_margin=0.6))
+
+    def test_point_inside_inflation_radius_collides(self):
+        inflated = self.make_map_with_obstacle()
+        assert inflated.is_colliding(Vec3(5, 0, 5))
+        assert inflated.is_colliding(Vec3(5.6, 0, 5))
+
+    def test_point_outside_inflation_radius_is_free(self):
+        inflated = self.make_map_with_obstacle()
+        assert not inflated.is_colliding(Vec3(9, 0, 5))
+
+    def test_segment_through_obstacle_collides(self):
+        inflated = self.make_map_with_obstacle()
+        assert inflated.segment_colliding(Vec3(0, 0, 5), Vec3(10, 0, 5))
+        assert not inflated.segment_colliding(Vec3(0, 5, 5), Vec3(10, 5, 5))
+
+    def test_path_collision_checks_each_leg(self):
+        inflated = self.make_map_with_obstacle()
+        safe_path = [Vec3(0, 5, 5), Vec3(10, 5, 5), Vec3(10, 10, 5)]
+        bad_path = [Vec3(0, 5, 5), Vec3(5, 0, 5)]
+        assert not inflated.path_colliding(safe_path)
+        assert inflated.path_colliding(bad_path)
+
+    def test_clearance_reflects_distance(self):
+        inflated = self.make_map_with_obstacle()
+        near = inflated.clearance_at(Vec3(6, 0, 5))
+        far = inflated.clearance_at(Vec3(20, 0, 5))
+        assert near < far
+
+    def test_inflation_radius_property(self):
+        inflated = self.make_map_with_obstacle()
+        assert inflated.inflation_radius == pytest.approx(1.0)

@@ -1,0 +1,164 @@
+"""Tests for the ArUco dictionary and basic image operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perception import image_ops
+from repro.perception.aruco import ArucoDictionary, default_dictionary
+
+
+class TestDictionary:
+    def test_default_dictionary_size(self):
+        dictionary = default_dictionary()
+        assert len(dictionary.codes) == dictionary.size == 50
+
+    def test_codes_are_deterministic(self):
+        a = ArucoDictionary(size=10, seed=1)
+        b = ArucoDictionary(size=10, seed=1)
+        for marker_id in range(10):
+            assert np.array_equal(a.bit_grid(marker_id), b.bit_grid(marker_id))
+
+    def test_minimum_hamming_distance_enforced(self):
+        dictionary = ArucoDictionary(size=20, min_distance=4, seed=2)
+        ids = list(dictionary.codes)
+        for i in ids:
+            for j in ids:
+                if i >= j:
+                    continue
+                for rotation in range(4):
+                    rotated = np.rot90(dictionary.bit_grid(j), rotation)
+                    distance = int(np.sum(dictionary.bit_grid(i) != rotated))
+                    assert distance >= 4
+
+    def test_bordered_grid_has_black_border(self):
+        grid = default_dictionary().bordered_grid(5)
+        assert grid.shape == (6, 6)
+        assert not grid[0, :].any() and not grid[-1, :].any()
+        assert not grid[:, 0].any() and not grid[:, -1].any()
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            default_dictionary().bit_grid(999)
+
+    def test_identify_exact_and_rotated(self):
+        dictionary = default_dictionary()
+        code = dictionary.bit_grid(7)
+        assert dictionary.identify(code)[0] == 7
+        assert dictionary.identify(np.rot90(code, 1), max_errors=0)[0] == 7
+
+    def test_identify_with_one_bit_error(self):
+        dictionary = default_dictionary()
+        corrupted = dictionary.bit_grid(7).copy()
+        corrupted[0, 0] = ~corrupted[0, 0]
+        assert dictionary.identify(corrupted, max_errors=1)[0] == 7
+
+    def test_identify_garbage_returns_none(self):
+        dictionary = default_dictionary()
+        nothing = dictionary.identify(np.zeros((4, 4), dtype=bool), max_errors=0)
+        # All-black inner grid is not a valid codeword in this dictionary.
+        assert nothing is None or nothing[0] in dictionary.codes
+
+    def test_identify_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            default_dictionary().identify(np.zeros((3, 3), dtype=bool))
+
+    def test_render_scales_with_pixels_per_cell(self):
+        image = default_dictionary().render(3, pixels_per_cell=4)
+        assert image.shape == (24, 24)
+        assert set(np.unique(image)).issubset({0.0, 1.0})
+
+    def test_sample_at_outside_is_black(self):
+        dictionary = default_dictionary()
+        values = dictionary.sample_at(3, np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+        assert values.tolist() == [0.0, 0.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ArucoDictionary(bits=2)
+        with pytest.raises(ValueError):
+            ArucoDictionary(size=0)
+
+
+class TestImageOps:
+    def test_box_filter_preserves_constant_images(self):
+        image = np.full((20, 20), 0.7)
+        np.testing.assert_allclose(image_ops.box_filter(image, 3), image, atol=1e-9)
+
+    def test_adaptive_threshold_finds_dark_square(self):
+        image = np.full((40, 40), 0.8)
+        image[10:20, 10:20] = 0.1
+        mask = image_ops.adaptive_threshold(image, radius=6, offset=0.05)
+        assert mask[15, 15]
+        assert not mask[2, 2]
+
+    def test_connected_components_separates_blobs(self):
+        mask = np.zeros((30, 30), dtype=bool)
+        mask[2:8, 2:8] = True
+        mask[20:28, 20:28] = True
+        components = image_ops.connected_components(mask, min_size=4)
+        assert len(components) == 2
+        assert components[0].sum() >= components[1].sum()
+
+    def test_connected_components_min_size_filter(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[0, 0] = True
+        assert image_ops.connected_components(mask, min_size=2) == []
+
+    def test_component_geometry(self):
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[5:10, 5:15] = True
+        geometry = image_ops.component_geometry(mask)
+        assert geometry.pixel_count == 50
+        assert geometry.centroid[0] == pytest.approx(7.0)
+        assert geometry.aspect_ratio == pytest.approx(2.0)
+        assert geometry.fill_ratio == pytest.approx(1.0)
+
+    def test_estimate_quad_corners_of_square(self):
+        mask = np.zeros((30, 30), dtype=bool)
+        mask[5:15, 5:15] = True
+        corners = image_ops.estimate_quad_corners(mask)
+        assert corners is not None
+        assert corners.shape == (4, 2)
+
+    def test_estimate_quad_corners_degenerate_returns_none(self):
+        mask = np.zeros((30, 30), dtype=bool)
+        mask[5, 5:9] = True
+        assert image_ops.estimate_quad_corners(mask) is None
+
+    def test_sample_quad_grid_reads_pattern(self):
+        image = np.zeros((32, 32))
+        image[8:16, 8:16] = 1.0
+        corners = np.array([[8, 8], [8, 15], [15, 15], [15, 8]], dtype=float)
+        grid = image_ops.sample_quad_grid(image, corners, 4)
+        assert grid.mean() > 0.9
+
+    def test_otsu_separates_bimodal(self):
+        values = np.concatenate([np.full(50, 0.1), np.full(50, 0.9)])
+        threshold = image_ops.otsu_threshold(values)
+        # Any threshold that puts the two modes on opposite sides is correct.
+        assert 0.1 < threshold < 0.9
+
+    def test_crop_patch_pads_at_border(self):
+        image = np.ones((10, 10))
+        patch = image_ops.crop_patch(image, (0, 0), 8)
+        assert patch.shape == (8, 8)
+        assert patch[0, 0] == 0.0  # padded corner
+
+    def test_resize_patch(self):
+        patch = np.arange(16, dtype=float).reshape(4, 4)
+        resized = image_ops.resize_patch(patch, 8)
+        assert resized.shape == (8, 8)
+
+    @given(st.integers(min_value=0, max_value=49))
+    @settings(max_examples=15, deadline=None)
+    def test_rendered_markers_decode_to_their_id(self, marker_id):
+        dictionary = default_dictionary()
+        image = dictionary.render(marker_id, pixels_per_cell=6)
+        cells = dictionary.bits + 2
+        h = image.shape[0]
+        corners = np.array([[0, 0], [0, h - 1], [h - 1, h - 1], [h - 1, 0]], dtype=float)
+        grid = image_ops.sample_quad_grid(image, corners, cells)
+        bits = grid > 0.5
+        match = dictionary.identify(bits[1:-1, 1:-1], max_errors=1)
+        assert match is not None and match[0] == marker_id

@@ -1,0 +1,107 @@
+"""Tests for the synthetic downward camera."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB, Pose, Vec3
+from repro.sensors.camera import CameraIntrinsics, DownwardCamera
+from repro.world.markers import Marker
+from repro.world.obstacles import building
+from repro.world.weather import Weather, WeatherCondition
+from repro.world.world import World
+
+
+def make_world(weather=None, markers=None, obstacles=None):
+    return World(
+        name="cam-test",
+        bounds=AABB(Vec3(-60, -60, 0), Vec3(60, 60, 40)),
+        obstacles=obstacles or [],
+        markers=markers if markers is not None else [Marker(marker_id=7, position=Vec3.zero(), size=1.0, is_target=True)],
+        weather=weather or Weather.clear(),
+    )
+
+
+class TestIntrinsics:
+    def test_focal_length_from_fov(self):
+        intr = CameraIntrinsics(width=128, height=128, fov_degrees=90.0)
+        assert intr.focal_length == pytest.approx(64.0, rel=1e-6)
+
+    def test_footprint_grows_with_altitude(self):
+        intr = CameraIntrinsics()
+        assert intr.ground_footprint_width(20) > intr.ground_footprint_width(10)
+
+    def test_pixels_per_meter_decreases_with_altitude(self):
+        intr = CameraIntrinsics()
+        assert intr.pixels_per_meter(5) > intr.pixels_per_meter(15)
+
+
+class TestRendering:
+    def test_image_shape_and_range(self):
+        frame = DownwardCamera().capture(make_world(), Pose.at(Vec3(0, 0, 10)))
+        intr = CameraIntrinsics()
+        assert frame.image.shape == (intr.height, intr.width)
+        assert float(frame.image.min()) >= 0.0
+        assert float(frame.image.max()) <= 1.0
+
+    def test_marker_visible_directly_below(self):
+        frame = DownwardCamera().capture(make_world(), Pose.at(Vec3(0, 0, 8)))
+        assert any(m.marker_id == 7 for m in frame.visible_markers)
+        # The marker introduces strong dark/bright structure near the centre.
+        center = frame.image[54:74, 54:74]
+        assert float(center.max() - center.min()) > 0.5
+
+    def test_marker_not_visible_when_far_away(self):
+        frame = DownwardCamera().capture(make_world(), Pose.at(Vec3(50, 50, 8)))
+        assert not frame.visible_markers
+
+    def test_fog_reduces_contrast(self):
+        clear_frame = DownwardCamera(seed=1).capture(make_world(), Pose.at(Vec3(0, 0, 8)))
+        fog = Weather.preset(WeatherCondition.FOG, 1.0)
+        fog_frame = DownwardCamera(seed=1).capture(make_world(weather=fog), Pose.at(Vec3(0, 0, 8)))
+        assert float(fog_frame.image.std()) < float(clear_frame.image.std())
+
+    def test_glare_brightens_image(self):
+        glare = Weather.preset(WeatherCondition.SUN_GLARE, 1.0)
+        glare_frame = DownwardCamera(seed=2).capture(make_world(weather=glare), Pose.at(Vec3(0, 0, 8)))
+        clear_frame = DownwardCamera(seed=2).capture(make_world(), Pose.at(Vec3(0, 0, 8)))
+        assert float(glare_frame.image.mean()) > float(clear_frame.image.mean())
+
+    def test_building_occludes_marker(self):
+        # A tall building directly over the marker's line of sight from a
+        # laterally offset camera: the rooftop should replace ground pixels.
+        obstacles = [building(0, 0, 6, 6, 12, name="roof")]
+        world = make_world(obstacles=obstacles, markers=[])
+        frame = DownwardCamera().capture(world, Pose.at(Vec3(0, 0, 20)))
+        center_value = frame.image[64, 64]
+        assert center_value == pytest.approx(0.3, abs=0.15)
+
+    def test_occluded_marker_band_rendered_gray(self):
+        markers = [Marker(marker_id=7, position=Vec3.zero(), size=1.0, occlusion=0.45, is_target=True)]
+        frame = DownwardCamera(seed=3).capture(make_world(markers=markers), Pose.at(Vec3(0, 0, 6)))
+        assert any(m.occlusion > 0 for m in frame.visible_markers)
+
+
+class TestProjection:
+    def test_pixel_to_ground_center_is_below_camera(self):
+        frame = DownwardCamera().capture(make_world(), Pose.at(Vec3(3, -2, 10)))
+        intr = frame.intrinsics
+        ground = frame.pixel_to_ground(intr.cy, intr.cx)
+        assert ground.horizontal_distance_to(Vec3(3, -2, 0)) < 0.2
+
+    def test_ground_to_pixel_round_trip(self):
+        frame = DownwardCamera().capture(make_world(), Pose.at(Vec3(0, 0, 10)))
+        point = Vec3(1.5, -2.0, 0.0)
+        pixel = frame.ground_to_pixel(point)
+        assert pixel is not None
+        recovered = frame.pixel_to_ground(*pixel)
+        assert recovered.horizontal_distance_to(point) < 0.2
+
+    def test_estimated_pose_shifts_backprojection(self):
+        true_pose = Pose.at(Vec3(0, 0, 10))
+        shifted = Pose.at(Vec3(2, 0, 10))
+        frame = DownwardCamera().capture(make_world(), true_pose, estimated_pose=shifted)
+        intr = frame.intrinsics
+        ground = frame.pixel_to_ground(intr.cy, intr.cx)
+        assert ground.horizontal_distance_to(Vec3(2, 0, 0)) < 0.2

@@ -1,0 +1,116 @@
+"""Tests for obstacles, markers and weather."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Vec3
+from repro.world.markers import Marker
+from repro.world.obstacles import ObstacleKind, building, pole, tree, wall, water
+from repro.world.weather import Weather, WeatherCondition
+
+
+class TestObstacleFactories:
+    def test_building_rests_on_ground(self):
+        b = building(10, 20, 8, 6, 15)
+        assert b.kind is ObstacleKind.BUILDING
+        assert b.bounds.minimum.z == 0.0
+        assert b.height == 15.0
+        assert b.contains(Vec3(10, 20, 7))
+
+    def test_tree_has_trunk_and_late_visibility_canopy(self):
+        parts = tree(0, 0, canopy_radius=3, height=10)
+        assert len(parts) == 2
+        trunk, canopy = parts
+        assert trunk.late_visibility_range is None
+        assert canopy.late_visibility_range is not None
+        assert canopy.bounds.minimum.z == pytest.approx(4.0)
+
+    def test_canopy_visibility_depends_on_distance(self):
+        _, canopy = tree(0, 0, canopy_radius=3, height=10, canopy_visibility_range=5.0)
+        assert not canopy.visible_from(Vec3(30, 0, 8))
+        assert canopy.visible_from(Vec3(4, 0, 8))
+
+    def test_pole_is_thin(self):
+        p = pole(5, 5, 8)
+        assert p.bounds.size.x < 1.0 and p.bounds.size.y < 1.0
+
+    def test_wall_orientation_and_thickness(self):
+        w = wall(0, 0, 10, 0, height=3, thickness=0.5)
+        assert w.bounds.size.x == pytest.approx(10.0)
+        assert w.bounds.size.y == pytest.approx(0.5)
+
+    def test_water_is_not_collision_hazard(self):
+        lake = water(0, 0, 10, 10)
+        assert not lake.is_collision_hazard
+        assert building(0, 0, 5, 5, 5).is_collision_hazard
+
+
+class TestMarker:
+    def test_corner_count_and_size(self):
+        marker = Marker(marker_id=7, position=Vec3(1, 2, 0), size=1.0)
+        corners = marker.corners
+        assert len(corners) == 4
+        assert corners[0].distance_to(corners[1]) == pytest.approx(1.0)
+
+    def test_rotation_preserves_distance_from_center(self):
+        marker = Marker(marker_id=7, position=Vec3.zero(), size=2.0, yaw=0.7)
+        for corner in marker.corners:
+            assert corner.horizontal_norm() == pytest.approx(math.sqrt(2.0))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Marker(marker_id=1, position=Vec3.zero(), size=0.0)
+
+    def test_invalid_occlusion_rejected(self):
+        with pytest.raises(ValueError):
+            Marker(marker_id=1, position=Vec3.zero(), occlusion=1.0)
+
+    def test_horizontal_distance(self):
+        marker = Marker(marker_id=1, position=Vec3(3, 4, 0))
+        assert marker.horizontal_distance_to(Vec3(0, 0, 10)) == pytest.approx(5.0)
+
+
+class TestWeather:
+    def test_clear_preset_has_no_adverse_effects(self):
+        clear = Weather.clear()
+        assert not clear.is_adverse
+        assert clear.wind_speed == 0.0
+        assert clear.gps_degradation == 0.0
+
+    @pytest.mark.parametrize("condition", [c for c in WeatherCondition if c.is_adverse])
+    def test_adverse_presets_have_some_effect(self, condition):
+        weather = Weather.preset(condition, severity=1.0)
+        assert weather.is_adverse
+        degraded = (
+            weather.visibility < 1.0
+            or weather.glare > 0
+            or weather.wind_speed > 0
+            or weather.gps_degradation > 0
+        )
+        assert degraded
+
+    def test_severity_scales_fog_visibility(self):
+        mild = Weather.preset(WeatherCondition.FOG, 0.2)
+        dense = Weather.preset(WeatherCondition.FOG, 1.0)
+        assert dense.visibility < mild.visibility
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Weather.preset(WeatherCondition.FOG, 1.5)
+
+    def test_invalid_visibility_rejected(self):
+        with pytest.raises(ValueError):
+            Weather(visibility=0.0)
+
+    def test_sampling_respects_class(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert Weather.sample_adverse(rng).is_adverse
+            assert not Weather.sample_normal(rng).is_adverse
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_storm_wind_grows_with_severity(self, severity):
+        assert Weather.preset(WeatherCondition.STORM, severity).wind_speed >= 4.0 - 1e-9
