@@ -19,6 +19,12 @@ if _SRC not in sys.path:
 from repro.bench.campaign import CampaignConfig, run_campaign, run_field_campaign, run_hil_campaign  # noqa: E402
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark runs a campaign: mark them all slow for -m filtering."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def sil_campaign_results():
     """RQ1: the SIL campaign over MLS-V1/V2/V3."""

@@ -12,3 +12,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    # Registered here (in addition to pyproject.toml) so the marker exists
+    # even when pytest runs with an explicit -c pointing elsewhere.
+    config.addinivalue_line(
+        "markers",
+        "slow: heavy campaign/bench tests; deselect with -m 'not slow' for the fast tier-1 subset",
+    )

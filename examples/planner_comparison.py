@@ -1,9 +1,15 @@
-"""Reproduce the planner failure modes of Fig. 5a / Fig. 6 on a single map.
+"""Compare path planners: one-shot geometry demo + an ablation-grid campaign.
 
-Places a large building between the drone and its goal, then plans with the
-MLS-V2 local planner (bounded A* over a sliding dense grid) and the MLS-V3
-planner (RRT* over a global octree), showing the local planner's straight-line
+Part 1 reproduces the planner failure modes of Fig. 5a / Fig. 6 on a single
+map: a large building between the drone and its goal, planned with the MLS-V2
+local planner (bounded A* over a sliding dense grid) and the MLS-V3 planner
+(RRT* over a global octree), showing the local planner's straight-line
 fallback and the RRT* detour.
+
+Part 2 holds the detector fixed (OpenCV) and sweeps the planner axis of the
+component grid with the fluent :class:`repro.Campaign` API — the composition
+surface the paper's three generations are single points of.  The mapper is
+chosen per planner via the registry's compatibility declarations.
 
 Run with:  python examples/planner_comparison.py
 """
@@ -15,6 +21,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
+from repro import REGISTRY, Campaign, LandingSystemConfig
 from repro.geometry import Vec3
 from repro.mapping.inflation import InflatedMap
 from repro.mapping.octomap import OcTree
@@ -34,7 +41,7 @@ def building_wall() -> list[Vec3]:
     ]
 
 
-def main() -> None:
+def geometry_demo() -> None:
     points = building_wall()
     problem = PlanningProblem(start=Vec3(0, 0, 6), goal=Vec3(20, 0, 6), time_budget=3.0, max_altitude=30)
 
@@ -63,6 +70,42 @@ def main() -> None:
         print("  detour waypoints:")
         for waypoint in rrt_result.waypoints:
             print(f"    ({waypoint.x:6.1f}, {waypoint.y:6.1f}, {waypoint.z:5.1f})")
+
+
+def planner_axis_campaign() -> None:
+    """Sweep the planner axis of the ablation grid in end-to-end missions."""
+    systems = []
+    for planner in REGISTRY.keys("planner"):
+        # Pick the cheapest registered mapper satisfying the planner's needs.
+        mapper = next(
+            m for m in ("none", "dense-grid", "octomap")
+            if REGISTRY.is_valid_combination(m, planner)
+        )
+        systems.append(
+            LandingSystemConfig.custom(
+                detector="opencv", mapper=mapper, planner=planner,
+                name=f"opencv+{mapper}+{planner}",
+            )
+        )
+
+    print("\nPlanner-axis campaign (detector fixed to OpenCV):")
+    results = (
+        Campaign(*systems)
+        .scenarios(2)
+        .repetitions(1)
+        .parallel()
+        .progress(lambda line: print("  " + line))
+        .run()
+    )
+    print(f"\n{'system':<38} {'success':>8} {'collisions':>11}")
+    for name, campaign in results.items():
+        print(f"{name:<38} {100 * campaign.success_rate:>7.0f}% "
+              f"{100 * campaign.collision_failure_rate:>10.0f}%")
+
+
+def main() -> None:
+    geometry_demo()
+    planner_axis_campaign()
 
 
 if __name__ == "__main__":

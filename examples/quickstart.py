@@ -1,9 +1,13 @@
-"""Quickstart: run one autonomous-landing scenario with MLS-V3.
+"""Quickstart: one MLS-V3 mission, then a small parallel campaign.
 
-Builds a scenario from the evaluation suite, runs the full simulation loop
-(takeoff, transit, spiral search, multi-frame validation, staged descent,
-final descent) and prints the outcome, the landing error and the decision
-state machine's transition log.
+Part 1 builds a scenario from the evaluation suite and runs the full
+simulation loop (takeoff, transit, spiral search, multi-frame validation,
+staged descent, final descent), printing the outcome and the decision state
+machine's transition log.
+
+Part 2 uses the fluent :class:`repro.Campaign` API to evaluate MLS-V1 against
+a custom registry composition (the grid mapper bolted onto the V1 detector
+and planner) over a few scenarios, fanned out over all CPU cores.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,7 +19,7 @@ import os
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro import MissionRunner, build_evaluation_suite, mls_v3
+from repro import Campaign, LandingSystemConfig, MissionRunner, build_evaluation_suite, mls_v1, mls_v3
 
 
 def main() -> None:
@@ -39,6 +43,26 @@ def main() -> None:
     print("\nState machine transitions:")
     for transition in runner.system.transitions:
         print(f"  {transition}")
+
+    # ------------------------------------------------------------------ #
+    # Part 2: a fluent parallel campaign over a custom composition.
+    # ------------------------------------------------------------------ #
+    hybrid = LandingSystemConfig.custom(
+        detector="opencv", mapper="dense-grid", planner="straight-line",
+        name="V1+grid",
+    )
+    print("\nCampaign: MLS-V1 vs the custom 'V1+grid' composition")
+    results = (
+        Campaign(mls_v1(), hybrid)
+        .scenarios(3)
+        .repetitions(1)
+        .parallel()                       # one worker per CPU core
+        .progress(lambda line: print("  " + line))
+        .run()
+    )
+    for name, campaign in results.items():
+        print(f"{name}: success rate {100 * campaign.success_rate:.0f}% "
+              f"over {len(campaign.records)} runs")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,13 @@
   side-by-side comparison and for the shape checks in EXPERIMENTS.md.
 """
 
-from repro.bench.campaign import CampaignConfig, run_campaign, run_hil_campaign, run_field_campaign
+from repro.bench.campaign import (
+    Campaign,
+    CampaignConfig,
+    run_campaign,
+    run_hil_campaign,
+    run_field_campaign,
+)
 from repro.bench.tables import (
     format_table,
     render_landing_table,
@@ -20,6 +26,7 @@ from repro.bench.tables import (
 from repro.bench import paper_values
 
 __all__ = [
+    "Campaign",
     "CampaignConfig",
     "run_campaign",
     "run_hil_campaign",

@@ -1,30 +1,57 @@
-"""Campaign runner: a scenario suite x system generations x platform.
+"""Campaign runner: scenario suites x system compositions x platforms.
 
 The full paper campaign is 100 scenarios x 3 repetitions per system; in this
-pure-Python reproduction each run takes tens of wall-clock seconds, so the
-default campaign size is reduced and controlled by the
-``REPRO_BENCH_SCENARIOS`` / ``REPRO_BENCH_REPETITIONS`` environment variables
-(set them to 100 / 3 to run the paper-scale campaign).
+pure-Python reproduction each run takes seconds of wall clock, so the default
+campaign size is reduced and controlled by the ``REPRO_BENCH_SCENARIOS`` /
+``REPRO_BENCH_REPETITIONS`` environment variables (set them to 100 / 3 to run
+the paper-scale campaign).  ``REPRO_BENCH_WORKERS`` selects multi-process
+execution for any campaign built through this module.
+
+The primary API is the fluent :class:`Campaign` builder::
+
+    from repro import Campaign, mls_v1, mls_v3
+
+    results = (
+        Campaign()
+        .systems(mls_v1(), mls_v3())
+        .scenarios(6)
+        .repetitions(2)
+        .platform("desktop")
+        .parallel(4)
+        .run()
+    )
+
+Every mission in a campaign is independent (own world, own seeds), so the
+run grid is embarrassingly parallel: ``.parallel(n)`` fans the jobs out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping aggregation in
+submission order, which makes the parallel results bit-identical to the
+serial ones.  :func:`run_campaign`, :func:`run_hil_campaign` and
+:func:`run_field_campaign` remain as thin wrappers for the existing
+benchmarks.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.core.config import LandingSystemConfig, mls_v1, mls_v2, mls_v3
-from repro.core.metrics import CampaignResult
+from repro.core.config import LandingSystemConfig, SystemGeneration, config_for, mls_v1, mls_v2, mls_v3, preset
+from repro.core.metrics import CampaignResult, RunRecord
 from repro.core.mission import MissionConfig, MissionRunner
 from repro.core.platform import DesktopPlatform, ExecutionPlatform
+from repro.core.registry import DETECTOR, REGISTRY
 from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
 from repro.perception.neural.training import load_pretrained_detector_net
 from repro.realworld.field_test import FieldTestConfig, run_field_scenario
+from repro.world.scenario import Scenario
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
 #: Default number of scenarios when the environment does not say otherwise.
 DEFAULT_BENCH_SCENARIOS = 6
 DEFAULT_BENCH_REPETITIONS = 1
+DEFAULT_BENCH_WORKERS = 1
 
 
 def bench_scenario_count() -> int:
@@ -37,22 +64,348 @@ def bench_repetitions() -> int:
     return int(os.environ.get("REPRO_BENCH_REPETITIONS", DEFAULT_BENCH_REPETITIONS))
 
 
+def bench_workers() -> int:
+    """Worker processes per campaign, overridable via ``REPRO_BENCH_WORKERS``."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", DEFAULT_BENCH_WORKERS))
+
+
 @dataclass
 class CampaignConfig:
-    """What to run."""
+    """What to run (the non-fluent knob bundle used by the benchmarks)."""
 
     scenario_count: int = field(default_factory=bench_scenario_count)
     repetitions: int = field(default_factory=bench_repetitions)
     mission: MissionConfig = field(default_factory=MissionConfig)
     base_seed: int = 2025
     verbose: bool = False
+    workers: int = field(default_factory=bench_workers)
 
 
-def _default_suite(config: CampaignConfig) -> ScenarioSuite:
-    suite = build_evaluation_suite(base_seed=config.base_seed)
-    subset = suite.subset(config.scenario_count)
-    subset.repetitions = config.repetitions
-    return subset
+# ---------------------------------------------------------------------- #
+# execution platforms
+# ---------------------------------------------------------------------- #
+def _desktop_platform() -> ExecutionPlatform:
+    return DesktopPlatform()
+
+
+def _jetson_platform() -> ExecutionPlatform:
+    return JetsonNanoPlatform(spec=JetsonNanoSpec())
+
+
+def _jetson_real_world_platform() -> ExecutionPlatform:
+    return JetsonNanoPlatform(spec=JetsonNanoSpec.real_world())
+
+
+#: Named platform factories accepted by ``Campaign.platform(...)``.  String
+#: keys (rather than factory callables) are what parallel campaigns ship to
+#: worker processes, so entries here are always multiprocessing-safe.
+PLATFORM_FACTORIES: dict[str, Callable[[], ExecutionPlatform]] = {
+    "desktop": _desktop_platform,
+    "jetson-nano": _jetson_platform,
+    "jetson-nano-real": _jetson_real_world_platform,
+}
+
+
+def _resolve_platform_factory(
+    platform: str | Callable[[], ExecutionPlatform],
+) -> Callable[[], ExecutionPlatform]:
+    if callable(platform):
+        return platform
+    key = str(platform).strip().lower()
+    if key not in PLATFORM_FACTORIES:
+        raise ValueError(
+            f"unknown platform {platform!r}; expected one of {sorted(PLATFORM_FACTORIES)} "
+            f"or a zero-argument factory callable"
+        )
+    return PLATFORM_FACTORIES[key]
+
+
+# ---------------------------------------------------------------------- #
+# worker-side execution
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignJob:
+    """One independent mission run of a campaign (picklable)."""
+
+    index: int
+    system: LandingSystemConfig
+    scenario: Scenario
+    repetition: int
+    mission: MissionConfig
+    platform: str | Callable[[], ExecutionPlatform] = "desktop"
+    needs_network: bool = True
+
+
+_worker_network = None
+
+
+def _shared_network():
+    """The per-process detector network (trained once, disk-cached)."""
+    global _worker_network
+    if _worker_network is None:
+        _worker_network = load_pretrained_detector_net()
+    return _worker_network
+
+
+def _execute_job(job: CampaignJob) -> RunRecord:
+    """Run one campaign job; used both in-process and in worker processes."""
+    from repro.core.registry import ComponentError
+
+    network = _shared_network() if job.needs_network else None
+    try:
+        runner = MissionRunner(
+            job.scenario,
+            job.system,
+            mission_config=job.mission,
+            platform=_resolve_platform_factory(job.platform)(),
+            detector_network=network,
+        )
+    except ComponentError as error:
+        raise ComponentError(
+            f"{error} (if this component is registered at runtime, note that "
+            f"spawn/forkserver worker processes only see components registered "
+            f"at module import time)"
+        ) from error
+    return runner.run()
+
+
+def _system_needs_network(config: LandingSystemConfig) -> bool:
+    try:
+        spec = REGISTRY.spec(DETECTOR, config.detector)
+    except Exception:
+        return True  # unknown custom detector: be conservative, load it
+    return bool(spec.metadata.get("needs_network", False))
+
+
+# ---------------------------------------------------------------------- #
+# the fluent campaign builder
+# ---------------------------------------------------------------------- #
+class Campaign:
+    """Fluent builder for (possibly parallel) evaluation campaigns.
+
+    Each setter returns ``self`` so campaigns read as one chain; ``run()``
+    executes the grid and returns ``{system name: CampaignResult}``.
+    Results are aggregated in job-submission order regardless of worker
+    completion order, so ``.parallel(n)`` is outcome-identical to serial.
+    """
+
+    def __init__(self, *system_configs: LandingSystemConfig) -> None:
+        self._systems: list[LandingSystemConfig] = []
+        if system_configs:
+            self.systems(*system_configs)
+        self._suite: ScenarioSuite | None = None
+        self._scenario_count: int | None = None
+        self._repetitions: int | None = None
+        self._mission: MissionConfig = MissionConfig()
+        self._platform: str | Callable[[], ExecutionPlatform] = "desktop"
+        self._workers: int = 1
+        self._base_seed: int = 2025
+        self._progress: Callable[[str], None] | None = None
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def systems(self, *configs: Any) -> "Campaign":
+        """Add systems: configs, ``SystemGeneration`` members or preset names."""
+        for config in configs:
+            if isinstance(config, LandingSystemConfig):
+                self._systems.append(config)
+            elif isinstance(config, SystemGeneration):
+                self._systems.append(config_for(config))
+            elif isinstance(config, str):
+                self._systems.append(preset(config))
+            elif isinstance(config, Iterable):
+                self.systems(*config)
+            else:
+                raise TypeError(
+                    f"systems() accepts LandingSystemConfig / SystemGeneration / "
+                    f"preset names, got {type(config).__name__}"
+                )
+        return self
+
+    def suite(self, suite: ScenarioSuite) -> "Campaign":
+        """Use an explicit scenario suite (overrides ``scenarios()``)."""
+        self._suite = suite
+        return self
+
+    def scenarios(self, count: int) -> "Campaign":
+        """Evaluate on a ``count``-scenario subset of the evaluation suite."""
+        if count <= 0:
+            raise ValueError("scenario count must be positive")
+        self._scenario_count = count
+        return self
+
+    def repetitions(self, count: int) -> "Campaign":
+        """Repetitions per scenario (each gets a distinct camera seed)."""
+        if count <= 0:
+            raise ValueError("repetitions must be positive")
+        self._repetitions = count
+        return self
+
+    def mission(self, config: MissionConfig | None = None, **overrides: Any) -> "Campaign":
+        """Set the mission timing/termination config (or override fields)."""
+        base = config if config is not None else self._mission
+        self._mission = replace(base, **overrides) if overrides else base
+        return self
+
+    def platform(self, platform: str | Callable[[], ExecutionPlatform]) -> "Campaign":
+        """Execution platform: a ``PLATFORM_FACTORIES`` key or a factory.
+
+        String keys are preferred for ``.parallel()`` campaigns — they are
+        resolved inside each worker, so the factory never has to pickle.
+        """
+        _resolve_platform_factory(platform)  # validate eagerly
+        self._platform = platform
+        return self
+
+    def seed(self, base_seed: int) -> "Campaign":
+        """Base seed for the generated evaluation suite."""
+        self._base_seed = base_seed
+        return self
+
+    def parallel(self, workers: int | None = None) -> "Campaign":
+        """Fan mission runs out over ``workers`` processes (default: all cores)."""
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._workers = workers
+        return self
+
+    def serial(self) -> "Campaign":
+        """Run everything in-process (the default)."""
+        self._workers = 1
+        return self
+
+    def progress(self, callback: Callable[[str], None] | None) -> "Campaign":
+        """Callback receiving one line per completed run."""
+        self._progress = callback
+        return self
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def jobs(self, systems: Sequence[LandingSystemConfig] | None = None) -> list[CampaignJob]:
+        """The fully-specified run grid this campaign will execute."""
+        if systems is None:
+            systems = self._resolved_systems()
+        suite = self._resolved_suite()
+        repetitions = self._repetitions if self._repetitions is not None else suite.repetitions
+        jobs: list[CampaignJob] = []
+        index = 0
+        for system in systems:
+            needs_network = _system_needs_network(system)
+            for scenario in suite:
+                for repetition in range(repetitions):
+                    jobs.append(
+                        CampaignJob(
+                            index=index,
+                            system=system,
+                            scenario=scenario,
+                            repetition=repetition,
+                            # Preserve every user override; only the camera
+                            # seed varies between repetitions.
+                            mission=replace(self._mission, camera_seed=repetition),
+                            platform=self._platform,
+                            needs_network=needs_network,
+                        )
+                    )
+                    index += 1
+        return jobs
+
+    def run(self) -> dict[str, CampaignResult]:
+        """Execute the campaign and aggregate per-system results."""
+        systems = self._resolved_systems()
+        jobs = self.jobs(systems)
+        names = [config.name for config in systems]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate system names {duplicates}: give each system a "
+                f"distinct name (LandingSystemConfig.custom(..., name=...))"
+            )
+        results = {config.name: CampaignResult(system_name=config.name) for config in systems}
+
+        if any(job.needs_network for job in jobs):
+            # Train/load once up front: workers inherit the instance on
+            # fork-start platforms and hit the disk cache elsewhere.
+            _shared_network()
+
+        if self._workers > 1 and len(jobs) > 1 and self._jobs_picklable(jobs):
+            records = self._run_parallel(jobs)
+        else:
+            records = map(_execute_job, jobs)
+
+        for job, record in zip(jobs, records):
+            results[job.system.name].add(record)
+            if self._progress is not None:
+                self._progress(
+                    f"{job.system.name} {job.scenario.scenario_id} rep{job.repetition}: "
+                    f"{record.outcome.value} ({record.failure_reason or 'ok'})"
+                )
+        return results
+
+    @staticmethod
+    def _jobs_picklable(jobs: Sequence[CampaignJob]) -> bool:
+        """Whether the jobs can cross a process boundary.
+
+        A closure/lambda ``platform_factory`` (the pre-fluent callable API)
+        cannot pickle; rather than crash a campaign that used to work
+        serially, fall back to in-process execution with a warning.
+        """
+        import pickle
+        import warnings
+
+        try:
+            pickle.dumps(jobs[0])
+            return True
+        except Exception:
+            warnings.warn(
+                "campaign jobs are not picklable (usually a lambda/closure "
+                "platform factory); running serially — use a platform string "
+                "key such as 'jetson-nano' to enable parallel execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+
+    def _run_parallel(self, jobs: Sequence[CampaignJob]) -> Iterable[RunRecord]:
+        workers = min(self._workers, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            # executor.map preserves submission order, which keeps parallel
+            # aggregation identical to the serial path.
+            yield from executor.map(_execute_job, jobs)
+
+    # ------------------------------------------------------------------ #
+    def _resolved_systems(self) -> list[LandingSystemConfig]:
+        return list(self._systems) if self._systems else [mls_v1(), mls_v2(), mls_v3()]
+
+    def _resolved_suite(self) -> ScenarioSuite:
+        if self._suite is not None:
+            return self._suite
+        count = self._scenario_count if self._scenario_count is not None else bench_scenario_count()
+        suite = build_evaluation_suite(base_seed=self._base_seed).subset(count)
+        suite.repetitions = self._repetitions if self._repetitions is not None else bench_repetitions()
+        return suite
+
+
+# ---------------------------------------------------------------------- #
+# thin wrappers kept for the existing benchmarks / examples
+# ---------------------------------------------------------------------- #
+def _campaign_from_config(
+    campaign_config: CampaignConfig, suite: ScenarioSuite | None
+) -> Campaign:
+    campaign = Campaign().mission(campaign_config.mission).seed(campaign_config.base_seed)
+    if suite is not None:
+        # Legacy semantics: an explicit suite brings its own repetition count.
+        campaign.suite(suite)
+    else:
+        campaign.scenarios(campaign_config.scenario_count).repetitions(
+            campaign_config.repetitions
+        )
+    if campaign_config.workers > 1:
+        campaign.parallel(campaign_config.workers)
+    return campaign
 
 
 def run_campaign(
@@ -65,46 +418,20 @@ def run_campaign(
     """Run a (possibly reduced) campaign and aggregate per-system results.
 
     Args:
-        system_configs: generations to evaluate; defaults to V1, V2 and V3.
-        campaign_config: campaign size and mission timing.
+        system_configs: systems to evaluate; defaults to V1, V2 and V3.
+        campaign_config: campaign size, mission timing and worker count.
         suite: explicit scenario suite; defaults to a subset of the 10x10
             evaluation suite.
         platform_factory: builds the execution platform for each run
             (defaults to the SIL desktop platform).
         progress: optional callback receiving one line per completed run.
     """
-    campaign_config = campaign_config or CampaignConfig()
-    configs = list(system_configs) if system_configs is not None else [mls_v1(), mls_v2(), mls_v3()]
-    suite = suite or _default_suite(campaign_config)
-    platform_factory = platform_factory or DesktopPlatform
-    network = load_pretrained_detector_net()
-
-    results = {config.name: CampaignResult(system_name=config.name) for config in configs}
-    for config in configs:
-        for scenario in suite:
-            for repetition in range(suite.repetitions):
-                mission_config = campaign_config.mission
-                runner = MissionRunner(
-                    scenario,
-                    config,
-                    mission_config=MissionConfig(
-                        physics_dt=mission_config.physics_dt,
-                        decision_period=mission_config.decision_period,
-                        depth_period=mission_config.depth_period,
-                        max_mission_time=mission_config.max_mission_time,
-                        camera_seed=repetition,
-                    ),
-                    platform=platform_factory(),
-                    detector_network=network,
-                )
-                record = runner.run()
-                results[config.name].add(record)
-                if progress is not None:
-                    progress(
-                        f"{config.name} {scenario.scenario_id} rep{repetition}: "
-                        f"{record.outcome.value} ({record.failure_reason or 'ok'})"
-                    )
-    return results
+    campaign = _campaign_from_config(campaign_config or CampaignConfig(), suite).progress(progress)
+    if system_configs is not None:
+        campaign.systems(*system_configs)
+    if platform_factory is not None:
+        campaign.platform(platform_factory)
+    return campaign.run()
 
 
 def run_hil_campaign(
@@ -115,14 +442,13 @@ def run_hil_campaign(
 ) -> CampaignResult:
     """The RQ2 campaign: MLS-V3 on the Jetson Nano platform."""
     system_config = system_config or mls_v3()
-    results = run_campaign(
-        [system_config],
-        campaign_config=campaign_config,
-        suite=suite,
-        platform_factory=lambda: JetsonNanoPlatform(spec=JetsonNanoSpec()),
-        progress=progress,
+    campaign = (
+        _campaign_from_config(campaign_config or CampaignConfig(), suite)
+        .systems(system_config)
+        .platform("jetson-nano")
+        .progress(progress)
     )
-    return results[system_config.name]
+    return campaign.run()[system_config.name]
 
 
 def run_field_campaign(
@@ -133,9 +459,13 @@ def run_field_campaign(
 ) -> CampaignResult:
     """The RQ3 campaign: simplified scenarios flown with real-world effects."""
     campaign_config = campaign_config or CampaignConfig()
-    suite = suite or _default_suite(campaign_config)
+    if suite is None:
+        suite = build_evaluation_suite(base_seed=campaign_config.base_seed).subset(
+            campaign_config.scenario_count
+        )
+        suite.repetitions = campaign_config.repetitions
     field_config = field_config or FieldTestConfig()
-    network = load_pretrained_detector_net()
+    network = _shared_network()
 
     result = CampaignResult(system_name="MLS-V3")
     for scenario in suite:

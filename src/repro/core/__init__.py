@@ -13,7 +13,25 @@
   paper's tables.
 """
 
-from repro.core.config import LandingSystemConfig, SystemGeneration, mls_v1, mls_v2, mls_v3
+from repro.core.config import (
+    LandingSystemConfig,
+    SystemGeneration,
+    ablation_grid,
+    mls_v1,
+    mls_v2,
+    mls_v3,
+)
+from repro.core.registry import (
+    REGISTRY,
+    ComponentContext,
+    ComponentError,
+    ComponentRegistry,
+    ComponentSpec,
+    MappingStack,
+    register_detector,
+    register_mapper,
+    register_planner,
+)
 from repro.core.states import DecisionState, FailsafeAction, StateTransition
 from repro.core.landing_system import LandingSystem
 from repro.core.metrics import RunOutcome, RunRecord, CampaignResult
@@ -22,9 +40,19 @@ from repro.core.mission import MissionConfig, MissionRunner, run_scenario
 __all__ = [
     "LandingSystemConfig",
     "SystemGeneration",
+    "ablation_grid",
     "mls_v1",
     "mls_v2",
     "mls_v3",
+    "REGISTRY",
+    "ComponentContext",
+    "ComponentError",
+    "ComponentRegistry",
+    "ComponentSpec",
+    "MappingStack",
+    "register_detector",
+    "register_mapper",
+    "register_planner",
     "DecisionState",
     "FailsafeAction",
     "StateTransition",

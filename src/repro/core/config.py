@@ -1,4 +1,4 @@
-"""Landing-system configuration and the three generation presets.
+"""Landing-system configuration: presets, the custom builder and serialization.
 
 The paper evaluates three generations (§IV.B.2):
 
@@ -10,23 +10,42 @@ The paper evaluates three generations (§IV.B.2):
 configurations; everything else about the mission (state machine timings,
 validation thresholds, safety margins) is shared, which is what makes the
 comparison an ablation of detector / mapper / planner choices.
+
+Beyond the three presets, :meth:`LandingSystemConfig.custom` composes any
+registered component combination by string key — the full 2x3x3 built-in
+ablation grid (see :func:`ablation_grid`) plus anything registered through
+:mod:`repro.core.registry` — and :meth:`LandingSystemConfig.to_dict` /
+:meth:`~LandingSystemConfig.from_dict` round-trip a configuration through
+plain JSON-compatible dicts for CLI and multiprocessing use.
+
+The ``DetectorKind`` / ``MapperKind`` / ``PlannerKind`` enums are kept as
+back-compat aliases for the built-in component keys: config fields accept
+either the enum member or its string key, and built-in selections are
+normalized to the enum so existing identity comparisons keep working.
+Custom (registry-registered) components are carried as plain strings.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
+from itertools import product
+from typing import Any, Iterator
+
+# Safe: the registry module does not depend on this one at runtime.
+from repro.core.registry import REGISTRY
+from repro.core.registry import component_key as component_key_of
 
 
 class DetectorKind(enum.Enum):
-    """Which marker detector the system uses."""
+    """Built-in marker detectors (back-compat alias for registry keys)."""
 
     CLASSICAL = "opencv"
     LEARNED = "tph-yolo"
 
 
 class MapperKind(enum.Enum):
-    """Which occupancy-map representation the system uses."""
+    """Built-in occupancy-map representations (back-compat alias)."""
 
     NONE = "none"
     DENSE_GRID = "dense-grid"
@@ -34,7 +53,7 @@ class MapperKind(enum.Enum):
 
 
 class PlannerKind(enum.Enum):
-    """Which path planner the system uses."""
+    """Built-in path planners (back-compat alias)."""
 
     STRAIGHT_LINE = "straight-line"
     EGO_LOCAL_ASTAR = "ego-local-astar"
@@ -47,6 +66,32 @@ class SystemGeneration(enum.Enum):
     MLS_V1 = "MLS-V1"
     MLS_V2 = "MLS-V2"
     MLS_V3 = "MLS-V3"
+
+
+def _normalize_component(value: Any, kind_enum: type[enum.Enum], kind_name: str) -> Any:
+    """Map a component selector to the back-compat enum when it is built in.
+
+    Enum members pass through; strings matching a built-in key (or a registry
+    alias of one, e.g. ``"learned"`` for ``"tph-yolo"``) become the enum
+    member; anything else (a custom registry key) is kept as its canonical
+    string key.
+    """
+    if isinstance(value, kind_enum):
+        return value
+    if isinstance(value, enum.Enum):  # a foreign enum: use its value
+        value = value.value
+    try:
+        return kind_enum(value)
+    except ValueError:
+        pass
+    # Resolve registry aliases (e.g. "learned") to canonical keys.
+    if REGISTRY.has(kind_name, value):
+        canonical = REGISTRY.canonical_key(kind_name, value)
+        try:
+            return kind_enum(canonical)
+        except ValueError:
+            return canonical
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -92,27 +137,109 @@ class SafetyConfig:
     min_planning_clearance_to_descend: float = 1.0
 
 
+#: The nested config sections and their types, shared by to_dict / from_dict.
+_SECTION_TYPES = {
+    "search": SearchConfig,
+    "validation": ValidationConfig,
+    "landing": LandingConfig,
+    "safety": SafetyConfig,
+}
+
+
 @dataclass(frozen=True)
 class LandingSystemConfig:
-    """Full configuration of one landing-system generation."""
+    """Full configuration of one landing-system composition.
 
-    generation: SystemGeneration
-    detector: DetectorKind
-    mapper: MapperKind
-    planner: PlannerKind
+    ``detector`` / ``mapper`` / ``planner`` accept either a back-compat enum
+    member or a registry string key; built-in keys are normalized to the
+    enum.  ``generation`` is set for the paper presets and ``None`` for custom
+    compositions, whose display name comes from ``label`` (or is derived from
+    the component keys).
+    """
+
+    generation: SystemGeneration | None = None
+    detector: DetectorKind | str = DetectorKind.CLASSICAL
+    mapper: MapperKind | str = MapperKind.NONE
+    planner: PlannerKind | str = PlannerKind.STRAIGHT_LINE
     cruise_altitude: float = 12.0
     search: SearchConfig = field(default_factory=SearchConfig)
     validation: ValidationConfig = field(default_factory=ValidationConfig)
     landing: LandingConfig = field(default_factory=LandingConfig)
     safety: SafetyConfig = field(default_factory=SafetyConfig)
+    label: str | None = None
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "detector", _normalize_component(self.detector, DetectorKind, "detector")
+        )
+        object.__setattr__(
+            self, "mapper", _normalize_component(self.mapper, MapperKind, "mapper")
+        )
+        object.__setattr__(
+            self, "planner", _normalize_component(self.planner, PlannerKind, "planner")
+        )
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
-        return self.generation.value
+        if self.label:
+            return self.label
+        if self.generation is not None:
+            return self.generation.value
+        return (
+            f"custom({self.detector_key}+{self.mapper_key}+{self.planner_key})"
+        )
+
+    @property
+    def detector_key(self) -> str:
+        """Registry string key of the configured detector."""
+        return component_key_of(self.detector)
+
+    @property
+    def mapper_key(self) -> str:
+        """Registry string key of the configured mapper."""
+        return component_key_of(self.mapper)
+
+    @property
+    def planner_key(self) -> str:
+        """Registry string key of the configured planner."""
+        return component_key_of(self.planner)
 
     @property
     def has_avoidance(self) -> bool:
-        return self.mapper is not MapperKind.NONE
+        return self.mapper_key != MapperKind.NONE.value
+
+    # ------------------------------------------------------------------ #
+    # builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def custom(
+        cls,
+        detector: DetectorKind | str = DetectorKind.CLASSICAL,
+        mapper: MapperKind | str = MapperKind.NONE,
+        planner: PlannerKind | str = PlannerKind.STRAIGHT_LINE,
+        *,
+        name: str | None = None,
+        **overrides: Any,
+    ) -> "LandingSystemConfig":
+        """Compose a system from component keys (the ablation-grid builder).
+
+        Args:
+            detector / mapper / planner: registry keys (or back-compat enums).
+            name: optional display name used in campaign tables.
+            overrides: any other :class:`LandingSystemConfig` field
+                (``cruise_altitude``, ``search``, ``validation``, ...).
+        """
+        return cls(
+            generation=None,
+            detector=detector,
+            mapper=mapper,
+            planner=planner,
+            label=name,
+            **overrides,
+        )
 
     def with_validation(self, **kwargs) -> "LandingSystemConfig":
         """Copy with validation parameters overridden (used by the ablation bench)."""
@@ -121,6 +248,65 @@ class LandingSystemConfig:
     def with_safety(self, **kwargs) -> "LandingSystemConfig":
         """Copy with safety parameters overridden."""
         return replace(self, safety=replace(self.safety, **kwargs))
+
+    def with_components(
+        self,
+        detector: DetectorKind | str | None = None,
+        mapper: MapperKind | str | None = None,
+        planner: PlannerKind | str | None = None,
+        name: str | None = None,
+    ) -> "LandingSystemConfig":
+        """Copy with some components swapped (clears the generation tag)."""
+        return replace(
+            self,
+            generation=None,
+            detector=detector if detector is not None else self.detector,
+            mapper=mapper if mapper is not None else self.mapper,
+            planner=planner if planner is not None else self.planner,
+            label=name if name is not None else self.label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization (JSON-compatible round trip)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible dict representation (see :meth:`from_dict`)."""
+        return {
+            "generation": self.generation.value if self.generation is not None else None,
+            "detector": self.detector_key,
+            "mapper": self.mapper_key,
+            "planner": self.planner_key,
+            "cruise_altitude": self.cruise_altitude,
+            "search": asdict(self.search),
+            "validation": asdict(self.validation),
+            "landing": asdict(self.landing),
+            "safety": asdict(self.safety),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LandingSystemConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Missing keys fall back to defaults, so hand-written partial dicts
+        (e.g. from a CLI ``--config`` JSON file) are accepted too.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown LandingSystemConfig keys: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs: dict[str, Any] = {}
+        for key, value in data.items():
+            if key == "generation":
+                kwargs[key] = SystemGeneration(value) if value is not None else None
+            elif key in _SECTION_TYPES and isinstance(value, dict):
+                kwargs[key] = _SECTION_TYPES[key](**value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
 
 
 def mls_v1() -> LandingSystemConfig:
@@ -160,3 +346,41 @@ def config_for(generation: SystemGeneration) -> LandingSystemConfig:
     if generation is SystemGeneration.MLS_V2:
         return mls_v2()
     return mls_v3()
+
+
+#: Named presets accepted by the campaign API's ``systems(...)`` call.
+PRESETS = {
+    "mls-v1": mls_v1,
+    "mls-v2": mls_v2,
+    "mls-v3": mls_v3,
+}
+
+
+def preset(name: str) -> LandingSystemConfig:
+    """Build a preset configuration by name (``"mls-v1"`` / ``"MLS-V2"`` ...)."""
+    key = name.strip().lower()
+    if key not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; expected one of {sorted(PRESETS)}")
+    return PRESETS[key]()
+
+
+def ablation_grid(
+    valid_only: bool = False,
+    **overrides: Any,
+) -> Iterator[LandingSystemConfig]:
+    """Every detector x mapper x planner combination as a custom config.
+
+    With only the built-in components registered this is the full
+    2 x 3 x 3 = 18-combination grid the paper's generations are three points
+    of.  ``valid_only`` filters to combinations whose planner requirements
+    are satisfied by the mapper (12 of the built-in 18).
+    """
+    if valid_only:
+        for detector, mapper, planner in REGISTRY.valid_combinations():
+            yield LandingSystemConfig.custom(detector, mapper, planner, **overrides)
+        return
+    detectors = [k.value for k in DetectorKind]
+    mappers = [k.value for k in MapperKind]
+    planners = [k.value for k in PlannerKind]
+    for detector, mapper, planner in product(detectors, mappers, planners):
+        yield LandingSystemConfig.custom(detector, mapper, planner, **overrides)

@@ -25,19 +25,23 @@ from repro.core.config import (
     MapperKind,
     PlannerKind,
 )
+from repro.core.registry import (
+    DETECTOR,
+    MAPPER,
+    PLANNER,
+    REGISTRY,
+    ComponentContext,
+    MappingStack,
+)
 from repro.core.states import DecisionState, FailsafeAction, StateTransition
 from repro.geometry import Vec3
-from repro.mapping.inflation import InflatedMap, InflationConfig
+from repro.mapping.inflation import InflatedMap
 from repro.mapping.octomap import OcTree
 from repro.mapping.voxel_grid import VoxelGrid
-from repro.perception.classical import ClassicalMarkerDetector
 from repro.perception.detection import Detection, DetectionFrame
-from repro.perception.learned import LearnedMarkerDetector
 from repro.perception.validation import ValidationGate, ValidationResult
 from repro.planning.ego_planner import EgoLocalPlanner
-from repro.planning.rrt_star import RrtStarConfig, RrtStarPlanner
 from repro.planning.spiral import spiral_search_waypoints
-from repro.planning.straight_line import StraightLinePlanner
 from repro.planning.trajectory import Trajectory, TrajectoryFollower, shortcut_smooth
 from repro.planning.types import PlanningProblem
 from repro.sensors.camera import CameraFrame
@@ -62,20 +66,25 @@ class ModuleTimings:
         return self.detection + self.mapping + self.planning
 
 
-#: Nominal desktop-class module latencies (seconds).  The relative costs
-#: matter more than the absolute values: the learned detector is heavier than
-#: the classical one, octree fusion is heavier than grid fusion, and RRT* is
-#: heavier than bounded local A*.
-NOMINAL_LATENCY = {
-    DetectorKind.CLASSICAL: 0.012,
-    DetectorKind.LEARNED: 0.030,
-    MapperKind.NONE: 0.0,
-    MapperKind.DENSE_GRID: 0.008,
-    MapperKind.OCTOMAP: 0.028,
-    PlannerKind.STRAIGHT_LINE: 0.001,
-    PlannerKind.EGO_LOCAL_ASTAR: 0.035,
-    PlannerKind.RRT_STAR: 0.120,
-}
+def _builtin_latency_table() -> dict:
+    """Back-compat view of the built-in latencies, keyed by the old enums.
+
+    The declarations themselves now live on the component registry
+    (:mod:`repro.core.registry`): each registered component carries its own
+    nominal desktop-class latency, so custom components automatically get a
+    cost model.  The relative costs matter more than the absolute values: the
+    learned detector is heavier than the classical one, octree fusion is
+    heavier than grid fusion, and RRT* is heavier than bounded local A*.
+    """
+    table = {}
+    for kind, enum_type in ((DETECTOR, DetectorKind), (MAPPER, MapperKind), (PLANNER, PlannerKind)):
+        for member in enum_type:
+            table[member] = REGISTRY.nominal_latency(kind, member)
+    return table
+
+
+#: Deprecated alias: read latencies from ``REGISTRY.nominal_latency`` instead.
+NOMINAL_LATENCY = _builtin_latency_table()
 
 
 class LandingSystem:
@@ -105,45 +114,46 @@ class LandingSystem:
         self.gps_target = gps_target
         self.home = home
 
-        # --- perception -------------------------------------------------
-        if config.detector is DetectorKind.CLASSICAL:
-            self.detector = ClassicalMarkerDetector()
-        else:
-            self.detector = LearnedMarkerDetector(network=detector_network)
+        # --- component composition (via the pluggable registry) ----------
+        context = ComponentContext(config=config, seed=seed, detector_network=detector_network)
+        self._detector_spec = REGISTRY.spec(DETECTOR, config.detector)
+        self._mapper_spec = REGISTRY.spec(MAPPER, config.mapper)
+        self._planner_spec = REGISTRY.spec(PLANNER, config.planner)
 
-        # --- mapping ----------------------------------------------------
-        self.local_grid: VoxelGrid | None = None
-        self.octree: OcTree | None = None
-        self.inflated: InflatedMap | None = None
-        inflation = InflationConfig(
-            vehicle_radius=config.safety.vehicle_radius,
-            safety_margin=config.safety.obstacle_clearance,
-        )
-        if config.mapper is MapperKind.DENSE_GRID:
-            self.local_grid = VoxelGrid()
-            self.inflated = InflatedMap(self.local_grid, inflation)
-        elif config.mapper is MapperKind.OCTOMAP:
-            self.octree = OcTree()
-            self.inflated = InflatedMap(self.octree, inflation)
+        # perception
+        self.detector = self._detector_spec.build(context)
 
-        # --- planning ---------------------------------------------------
-        if config.planner is PlannerKind.STRAIGHT_LINE:
-            self.planner = StraightLinePlanner()
-        elif config.planner is PlannerKind.EGO_LOCAL_ASTAR:
-            assert self.local_grid is not None, "EGO planner requires the dense grid"
-            self.planner = EgoLocalPlanner(self.local_grid)
-            self.inflated = self.planner.inflated
-        else:
-            assert self.inflated is not None, "RRT* requires an occupancy map"
-            self.planner = RrtStarPlanner(self.inflated, RrtStarConfig(seed=seed))
+        # mapping: the mapper component builds the full occupancy stack
+        stack = self._mapper_spec.build(context)
+        if not isinstance(stack, MappingStack):
+            stack = MappingStack(primary=stack, inflated=getattr(stack, "inflated", None))
+        self.mapping: MappingStack = stack
+        self.local_grid: VoxelGrid | None = stack.local_grid
+        self.octree: OcTree | None = stack.octree
+        self.inflated: InflatedMap | None = stack.inflated
+
+        # planning: the planner factory sees the built mapping stack
+        context.mapping = stack
+        self.planner = self._planner_spec.build(context)
+        # Planners that maintain their own inflated view (e.g. the EGO local
+        # planner) expose it; adopt it so safety checks and the corridor test
+        # use the same map the planner plans against.
+        planner_inflated = getattr(self.planner, "inflated", None)
+        if planner_inflated is not None:
+            self.inflated = planner_inflated
+            stack.inflated = planner_inflated
 
         # --- validation ---------------------------------------------------
+        proposes_unidentified = bool(
+            self._detector_spec.metadata.get("proposes_unidentified", False)
+        )
+        self._accept_unidentified = proposes_unidentified
         self.validation_gate = ValidationGate(
             target_marker_id=target_marker_id,
             required_frames=config.validation.required_frames,
             required_hits=config.validation.required_hits,
             position_consistency_radius=config.validation.position_consistency_radius,
-            accept_unidentified=config.detector is DetectorKind.LEARNED,
+            accept_unidentified=proposes_unidentified,
         )
 
         # --- state ---------------------------------------------------------
@@ -180,7 +190,7 @@ class LandingSystem:
     def process_frame(self, frame: CameraFrame) -> DetectionFrame:
         """Run marker detection on a camera frame and cache the result."""
         result = self.detector.detect(frame)
-        self.last_timings.detection = NOMINAL_LATENCY[self.config.detector]
+        self.last_timings.detection = self._detector_spec.nominal_latency
         self._last_frame = result
         best = self._best_candidate(result)
         if best is not None:
@@ -190,14 +200,23 @@ class LandingSystem:
 
     def process_cloud(self, cloud: PointCloud, estimate: EstimatedState) -> None:
         """Fuse a depth point cloud into the configured occupancy map."""
-        if self.config.mapper is MapperKind.NONE:
-            return
-        self.last_timings.mapping = NOMINAL_LATENCY[self.config.mapper]
+        integrated = False
         if self.local_grid is not None:
             self.local_grid.recenter(estimate.position)
             self.local_grid.integrate_cloud(cloud)
+            integrated = True
         if self.octree is not None:
             self.octree.integrate_cloud(cloud)
+            integrated = True
+        if not integrated:
+            # Custom mappers without the built-in representations can expose
+            # ``integrate_cloud`` on their primary map object.
+            primary = self.mapping.primary
+            if primary is not None and hasattr(primary, "integrate_cloud"):
+                primary.integrate_cloud(cloud)
+                integrated = True
+        if integrated:
+            self.last_timings.mapping = self._mapper_spec.nominal_latency
 
     # ------------------------------------------------------------------ #
     # decision tick
@@ -459,7 +478,7 @@ class LandingSystem:
             max_altitude=40.0,
         )
         result = self.planner.plan(problem)
-        self.last_timings.planning += NOMINAL_LATENCY[self.config.planner]
+        self.last_timings.planning += self._planner_spec.nominal_latency
         self.replans += 1
         self._last_replan_time = now
 
@@ -509,7 +528,7 @@ class LandingSystem:
         identified = frame.best_for(self.target_marker_id)
         if identified is not None and not self._near_rejected(identified.world_position):
             return identified
-        if self.config.detector is DetectorKind.CLASSICAL:
+        if not self._accept_unidentified:
             return None
         candidates = [
             d
@@ -558,8 +577,4 @@ class LandingSystem:
         return self.state in (DecisionState.LANDED, DecisionState.FAILSAFE)
 
     def map_memory_bytes(self) -> int:
-        if self.local_grid is not None:
-            return self.local_grid.memory_bytes()
-        if self.octree is not None:
-            return self.octree.memory_bytes()
-        return 0
+        return self.mapping.memory_bytes()

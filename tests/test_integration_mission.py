@@ -8,6 +8,8 @@ planning, decision making, metrics — for each system generation.
 import pytest
 
 from repro.core.config import mls_v1, mls_v3
+
+pytestmark = pytest.mark.slow
 from repro.core.metrics import RunOutcome
 from repro.core.mission import MissionConfig, MissionRunner
 from repro.core.states import DecisionState
