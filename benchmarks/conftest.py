@@ -19,10 +19,19 @@ if _SRC not in sys.path:
 from repro.bench.campaign import CampaignConfig, run_campaign, run_field_campaign, run_hil_campaign  # noqa: E402
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
 def pytest_collection_modifyitems(items):
-    """Every benchmark runs a campaign: mark them all slow for -m filtering."""
+    """Every benchmark runs a campaign: mark them all slow for -m filtering.
+
+    This hook receives the *whole* session's items (conftest hooks are not
+    directory-scoped), so restrict the marker to items collected from this
+    directory — otherwise ``-m "not slow"`` deselects the entire test suite.
+    """
     for item in items:
-        item.add_marker(pytest.mark.slow)
+        if str(item.fspath).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,6 @@ scenario suite in SIL; outcomes are classified as success / collision failure /
 poor-landing failure, and detection false negatives are scored per frame.
 """
 
-from repro.bench import paper_values
 from repro.bench.tables import render_detection_table, render_landing_accuracy, render_landing_table
 
 

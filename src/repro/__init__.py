@@ -77,9 +77,19 @@ from repro.core.registry import (
     register_planner,
 )
 from repro.world.scenario import Scenario
+from repro.world.scenario_gen import (
+    STRESS_AXES,
+    SUITE_PRESETS,
+    ScenarioSpec,
+    SuiteSpec,
+    Uniform,
+    axis_coverage,
+    generate_suite,
+    suite_preset,
+)
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # configuration & presets
@@ -122,5 +132,14 @@ __all__ = [
     "Scenario",
     "ScenarioSuite",
     "build_evaluation_suite",
+    # scenario generation
+    "STRESS_AXES",
+    "SUITE_PRESETS",
+    "ScenarioSpec",
+    "SuiteSpec",
+    "Uniform",
+    "axis_coverage",
+    "generate_suite",
+    "suite_preset",
     "__version__",
 ]

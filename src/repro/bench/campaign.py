@@ -32,13 +32,24 @@ benchmarks.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import re
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict as dataclasses_asdict
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.config import LandingSystemConfig, SystemGeneration, config_for, mls_v1, mls_v2, mls_v3, preset
-from repro.core.metrics import CampaignResult, RunRecord
+from repro.core.metrics import (
+    CampaignResult,
+    RunRecord,
+    append_record_jsonl,
+    read_campaign_jsonl,
+    write_campaign_jsonl,
+)
 from repro.core.mission import MissionConfig, MissionRunner
 from repro.core.platform import DesktopPlatform, ExecutionPlatform
 from repro.core.registry import DETECTOR, REGISTRY
@@ -46,6 +57,7 @@ from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
 from repro.perception.neural.training import load_pretrained_detector_net
 from repro.realworld.field_test import FieldTestConfig, run_field_scenario
 from repro.world.scenario import Scenario
+from repro.world.scenario_gen import PRESET_NAMES, SuiteSpec, generate_suite
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
 #: Default number of scenarios when the environment does not say otherwise.
@@ -166,7 +178,20 @@ def _execute_job(job: CampaignJob) -> RunRecord:
             f"spawn/forkserver worker processes only see components registered "
             f"at module import time)"
         ) from error
-    return runner.run()
+    record = runner.run()
+    record.repetition = job.repetition
+    return record
+
+
+def _sha16(payload: Any) -> str:
+    """16-hex-char content hash of a JSON-compatible payload."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def _scenario_fingerprint(scenario: Scenario) -> str:
+    """Content hash of one scenario, stored with each persisted run record."""
+    return _sha16(scenario.to_dict())
 
 
 def _system_needs_network(config: LandingSystemConfig) -> bool:
@@ -193,14 +218,16 @@ class Campaign:
         self._systems: list[LandingSystemConfig] = []
         if system_configs:
             self.systems(*system_configs)
-        self._suite: ScenarioSuite | None = None
+        self._suite: ScenarioSuite | SuiteSpec | str | None = None
         self._scenario_count: int | None = None
         self._repetitions: int | None = None
         self._mission: MissionConfig = MissionConfig()
         self._platform: str | Callable[[], ExecutionPlatform] = "desktop"
         self._workers: int = 1
         self._base_seed: int = 2025
+        self._seed_override: int | None = None
         self._progress: Callable[[str], None] | None = None
+        self._out: Path | None = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -223,9 +250,42 @@ class Campaign:
                 )
         return self
 
-    def suite(self, suite: ScenarioSuite) -> "Campaign":
-        """Use an explicit scenario suite (overrides ``scenarios()``)."""
-        self._suite = suite
+    def suite(self, suite: ScenarioSuite | SuiteSpec | str) -> "Campaign":
+        """Use an explicit scenario suite (overrides ``scenarios()``).
+
+        Accepts a :class:`ScenarioSuite`, a declarative
+        :class:`~repro.world.scenario_gen.SuiteSpec`, or a preset name such
+        as ``"paper"`` / ``"stress"`` / ``"smoke"``.  Specs and preset names
+        are generated at run time so a later ``.seed(...)`` call still
+        applies to them (generation is deterministic, so the grid is fixed
+        either way).
+        """
+        if isinstance(suite, str):
+            key = suite.strip().lower()
+            if key not in PRESET_NAMES:
+                raise ValueError(
+                    f"unknown suite preset {suite!r}; expected one of {sorted(PRESET_NAMES)}"
+                )
+            self._suite = key
+        elif isinstance(suite, (ScenarioSuite, SuiteSpec)):
+            self._suite = suite
+        else:
+            raise TypeError(
+                f"suite() accepts ScenarioSuite / SuiteSpec / preset name, "
+                f"got {type(suite).__name__}"
+            )
+        return self
+
+    def out(self, directory: str | Path | None) -> "Campaign":
+        """Persist per-run results under ``directory`` (one JSONL per system).
+
+        Every completed run is appended to ``<directory>/<system>.jsonl``
+        immediately, so a killed campaign loses at most the in-flight
+        missions — and re-running the same campaign with the same ``out``
+        directory *resumes*: runs whose ``(scenario_id, repetition)`` already
+        appear in the file are loaded instead of re-executed.
+        """
+        self._out = Path(directory) if directory is not None else None
         return self
 
     def scenarios(self, count: int) -> "Campaign":
@@ -259,8 +319,9 @@ class Campaign:
         return self
 
     def seed(self, base_seed: int) -> "Campaign":
-        """Base seed for the generated evaluation suite."""
+        """Base seed for the generated suite (evaluation subset or preset/spec)."""
         self._base_seed = base_seed
+        self._seed_override = base_seed
         return self
 
     def parallel(self, workers: int | None = None) -> "Campaign":
@@ -326,24 +387,135 @@ class Campaign:
             )
         results = {config.name: CampaignResult(system_name=config.name) for config in systems}
 
-        if any(job.needs_network for job in jobs):
+        scenario_hashes: dict[str, str] = {}
+        if self._out is not None:
+            if not isinstance(self._platform, str):
+                import warnings
+
+                warnings.warn(
+                    "persisting campaign results with a callable platform "
+                    "factory: platform changes cannot be detected on resume "
+                    "(use a string platform key for full resume guarding)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            for job in jobs:
+                if job.scenario.scenario_id not in scenario_hashes:
+                    scenario_hashes[job.scenario.scenario_id] = _scenario_fingerprint(
+                        job.scenario
+                    )
+        context = self._context_fingerprint() if self._out is not None else ""
+        restored = self._load_persisted(systems, context)
+        pending: list[CampaignJob] = []
+        for job in jobs:
+            stored = restored.get(job.system.name, {}).get(
+                (job.scenario.scenario_id, job.repetition)
+            )
+            if stored is None:
+                pending.append(job)
+                continue
+            expected = scenario_hashes[job.scenario.scenario_id]
+            if stored.scenario_fingerprint and stored.scenario_fingerprint != expected:
+                raise ValueError(
+                    f"{self._result_path(job.system.name)} holds a record for "
+                    f"{job.scenario.scenario_id!r} rep {job.repetition} flown on "
+                    f"different scenario contents (another suite seed with "
+                    f"colliding ids?); use a fresh out directory or delete the "
+                    f"stale results"
+                )
+
+        if any(job.needs_network for job in pending):
             # Train/load once up front: workers inherit the instance on
             # fork-start platforms and hit the disk cache elsewhere.
             _shared_network()
 
-        if self._workers > 1 and len(jobs) > 1 and self._jobs_picklable(jobs):
-            records = self._run_parallel(jobs)
+        if self._workers > 1 and len(pending) > 1 and self._jobs_picklable(pending):
+            records = self._run_parallel(pending)
         else:
-            records = map(_execute_job, jobs)
+            records = map(_execute_job, pending)
 
-        for job, record in zip(jobs, records):
+        # Pending jobs keep their relative order, so fresh records interleave
+        # with restored ones back into full submission order.
+        fresh: Iterator[RunRecord] = iter(records)
+        for job in jobs:
+            cached = restored.get(job.system.name, {}).get(
+                (job.scenario.scenario_id, job.repetition)
+            )
+            if cached is not None:
+                record = cached
+            else:
+                record = next(fresh)
+                if self._out is not None:
+                    record.scenario_fingerprint = scenario_hashes[job.scenario.scenario_id]
+                    append_record_jsonl(
+                        self._result_path(job.system.name),
+                        job.system.name,
+                        record,
+                        extra_header={"campaign": context},
+                    )
             results[job.system.name].add(record)
             if self._progress is not None:
                 self._progress(
                     f"{job.system.name} {job.scenario.scenario_id} rep{job.repetition}: "
-                    f"{record.outcome.value} ({record.failure_reason or 'ok'})"
+                    f"{record.outcome.value} "
+                    f"({'restored' if cached is not None else record.failure_reason or 'ok'})"
                 )
         return results
+
+    # ------------------------------------------------------------------ #
+    # result persistence
+    # ------------------------------------------------------------------ #
+    def _result_path(self, system_name: str) -> Path:
+        assert self._out is not None
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", system_name)
+        return self._out / f"{slug}.jsonl"
+
+    def _context_fingerprint(self) -> str:
+        """Identity of the run *context* (mission config + platform).
+
+        Stored in result headers so resuming against results flown with
+        different mission timings or on another platform is refused instead
+        of silently reported.  Scenario contents are guarded separately and
+        per record (see ``RunRecord.scenario_fingerprint``), so growing a
+        suite or its repetition count still resumes.
+        """
+        payload = {
+            "mission": dataclasses_asdict(self._mission),
+            "platform": self._platform if isinstance(self._platform, str) else "<callable>",
+        }
+        return _sha16(payload)
+
+    def _load_persisted(
+        self, systems: Sequence[LandingSystemConfig], context: str
+    ) -> dict[str, dict[tuple[str, int], RunRecord]]:
+        """Previously persisted records, keyed by system then (scenario, rep)."""
+        if self._out is None:
+            return {}
+        restored: dict[str, dict[tuple[str, int], RunRecord]] = {}
+        for config in systems:
+            path = self._result_path(config.name)
+            if not path.exists():
+                continue
+            header, records, torn = read_campaign_jsonl(path)
+            if str(header.get("system")) != config.name:
+                raise ValueError(
+                    f"{path} holds results for {header.get('system')!r}, "
+                    f"refusing to resume campaign system {config.name!r} from it"
+                )
+            stored = header.get("campaign")
+            if stored is not None and stored != context:
+                raise ValueError(
+                    f"{path} was produced by a different campaign configuration "
+                    f"(mission config or platform changed); use a fresh out "
+                    f"directory or delete the stale results"
+                )
+            if torn:
+                # Heal the file so future appends don't bury the torn line.
+                write_campaign_jsonl(path, header, records)
+            restored[config.name] = {
+                (record.scenario_id, record.repetition): record for record in records
+            }
+        return restored
 
     @staticmethod
     def _jobs_picklable(jobs: Sequence[CampaignJob]) -> bool:
@@ -381,8 +553,12 @@ class Campaign:
         return list(self._systems) if self._systems else [mls_v1(), mls_v2(), mls_v3()]
 
     def _resolved_suite(self) -> ScenarioSuite:
-        if self._suite is not None:
+        if isinstance(self._suite, ScenarioSuite):
             return self._suite
+        if self._suite is not None:
+            # A SuiteSpec or preset name: generate now (deterministic), with
+            # .seed(...) overriding the spec's own seed when it was called.
+            return generate_suite(self._suite, seed=self._seed_override)
         count = self._scenario_count if self._scenario_count is not None else bench_scenario_count()
         suite = build_evaluation_suite(base_seed=self._base_seed).subset(count)
         suite.repetitions = self._repetitions if self._repetitions is not None else bench_repetitions()

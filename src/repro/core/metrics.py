@@ -12,8 +12,17 @@ aggregates them into the quantities the paper reports:
 from __future__ import annotations
 
 import enum
+import json
+import math
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.jsonl import read_jsonl_frame
+
+#: Schema version stamped into campaign-result JSONL headers.
+RESULT_SCHEMA_VERSION = 1
 
 
 class RunOutcome(enum.Enum):
@@ -54,6 +63,13 @@ class DetectionStats:
         self.false_positive_frames += other.false_positive_frames
         self.deviation_samples.extend(other.deviation_samples)
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DetectionStats":
+        return cls(**data)
+
 
 @dataclass
 class ResourceStats:
@@ -86,6 +102,13 @@ class ResourceStats:
         self.gpu_utilisation_samples.extend(other.gpu_utilisation_samples)
         self.deadline_misses += other.deadline_misses
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceStats":
+        return cls(**data)
+
 
 @dataclass
 class RunRecord:
@@ -106,10 +129,37 @@ class RunRecord:
     aborts: int = 0
     adverse_weather: bool = False
     failure_reason: str = ""
+    repetition: int = 0
+    #: Content hash of the scenario this run flew (set by the campaign
+    #: persistence layer); guards resumed campaigns against scenario-id
+    #: collisions between different suites.
+    scenario_fingerprint: str = ""
 
     @property
     def succeeded(self) -> bool:
         return self.outcome is RunOutcome.SUCCESS
+
+    # ------------------------------------------------------------------ #
+    # serialization (JSON-compatible; NaN encodes as null)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["outcome"] = self.outcome.value
+        if math.isnan(self.landing_error):
+            data["landing_error"] = None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        data = dict(data)
+        data["outcome"] = RunOutcome(data["outcome"])
+        if data.get("landing_error") is None:
+            data["landing_error"] = float("nan")
+        if isinstance(data.get("detection"), dict):
+            data["detection"] = DetectionStats.from_dict(data["detection"])
+        if isinstance(data.get("resources"), dict):
+            data["resources"] = ResourceStats.from_dict(data["resources"])
+        return cls(**data)
 
 
 @dataclass
@@ -194,3 +244,108 @@ class CampaignResult:
             "Failure rate due to Collision": round(100.0 * self.collision_failure_rate, 2),
             "Failure rate due to poor landing": round(100.0 * self.poor_landing_failure_rate, 2),
         }
+
+    # ------------------------------------------------------------------ #
+    # persistence (JSON Lines: one header line, then one record per line)
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write all records as JSONL (header + one line per run) and return the path.
+
+        The format is append-friendly: the campaign runner re-emits records
+        one at a time with :func:`append_record_jsonl`, which is what makes
+        interrupted campaigns resumable.
+        """
+        write_campaign_jsonl(path, self._header(), self.records)
+        return Path(path)
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "CampaignResult":
+        """Load a result written by :meth:`to_jsonl` (or grown by appends).
+
+        A torn trailing line — the artifact of a campaign killed mid-append —
+        is dropped with a warning; a malformed line anywhere else raises.
+        """
+        header, records, _ = read_campaign_jsonl(path)
+        result = cls(system_name=str(header["system"]))
+        for record in records:
+            result.add(record)
+        return result
+
+    def _header(self) -> dict[str, Any]:
+        return {
+            "kind": "campaign-result",
+            "schema": RESULT_SCHEMA_VERSION,
+            "system": self.system_name,
+        }
+
+
+def write_campaign_jsonl(
+    path: str | Path, header: dict[str, Any], records: list[RunRecord]
+) -> Path:
+    """(Re)write a campaign-result JSONL file with an explicit header.
+
+    The campaign runner uses this both for full dumps and to heal a file
+    whose trailing record was torn by a mid-append kill.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_campaign_jsonl(path: str | Path) -> tuple[dict[str, Any], list[RunRecord], bool]:
+    """Parse a campaign-result JSONL file into (header, records, torn_tail).
+
+    ``torn_tail`` is True when the file's final line failed to parse — the
+    expected leftover of a process killed mid-append — in which case that
+    line is dropped with a warning so the campaign can still resume.  A
+    malformed header or a malformed line anywhere *before* the tail raises.
+    """
+    import warnings
+
+    path = Path(path)
+    header, payload = read_jsonl_frame(path, "campaign-result", RESULT_SCHEMA_VERSION)
+    records: list[RunRecord] = []
+    torn = False
+    for index, line in enumerate(payload):
+        lineno = index + 2
+        try:
+            records.append(RunRecord.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as error:
+            if index == len(payload) - 1:
+                torn = True
+                warnings.warn(
+                    f"dropping torn trailing record in {path} "
+                    f"(campaign killed mid-append?): {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(f"{path}:{lineno}: malformed run record: {error}") from error
+    return header, records, torn
+
+
+def append_record_jsonl(
+    path: str | Path,
+    result_system: str,
+    record: RunRecord,
+    extra_header: dict[str, Any] | None = None,
+) -> None:
+    """Append one run record to a campaign-result JSONL file.
+
+    Creates the file (with its header line, merged with ``extra_header``) on
+    first use; the campaign runner calls this after every completed run so a
+    killed campaign loses at most the in-flight missions.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not path.exists() or path.stat().st_size == 0:
+        header = CampaignResult(system_name=result_system)._header()
+        if extra_header:
+            header.update(extra_header)
+        path.write_text(json.dumps(header, sort_keys=True) + "\n", encoding="utf-8")
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")

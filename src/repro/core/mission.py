@@ -9,7 +9,6 @@ detection and resource statistics the other tables need.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.commands import Command, CommandKind
@@ -18,7 +17,7 @@ from repro.core.landing_system import LandingSystem
 from repro.core.metrics import DetectionStats, ResourceStats, RunOutcome, RunRecord
 from repro.core.platform import DesktopPlatform, ExecutionPlatform, TickBudget
 from repro.core.states import DecisionState
-from repro.geometry import Pose, Vec3
+from repro.geometry import Vec3
 from repro.sensors.camera import CameraFrame, DownwardCamera
 from repro.sensors.depth import DepthCamera
 from repro.vehicle.autopilot import Autopilot, AutopilotConfig, FlightMode

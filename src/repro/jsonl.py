@@ -1,0 +1,45 @@
+"""Shared framing for the repo's JSON-Lines file formats.
+
+Both persisted formats — scenario suites and campaign results — are one
+header object followed by one payload object per line.  This module owns the
+framing rules (blank-line filtering, empty-file and wrong-kind errors,
+schema-version gating) so the two readers cannot drift; payload parsing
+stays with the owning module.
+
+Deliberately import-free of the rest of the package: it is imported from
+both :mod:`repro.core.metrics` and :mod:`repro.world.scenario_suite`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def read_jsonl_frame(
+    path: str | Path, expected_kind: str, max_schema: int
+) -> tuple[dict[str, Any], list[str]]:
+    """Read a JSONL file's header and raw payload lines.
+
+    Raises ``ValueError`` when the file is empty, is of a different kind, or
+    declares a schema version newer than ``max_schema`` (so old readers fail
+    loudly instead of misparsing future records).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path} is not a {expected_kind} JSONL file (kind={header.get('kind')!r})"
+        )
+    schema = int(header.get("schema", 1))
+    if schema > max_schema:
+        raise ValueError(
+            f"{path} uses {expected_kind} schema {schema}, but this version "
+            f"reads at most schema {max_schema}; upgrade to read it"
+        )
+    return header, lines[1:]

@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.geometry import Vec3
 from repro.perception import image_ops
 from repro.perception.aruco import ArucoDictionary, default_dictionary
 from repro.perception.detection import Detection, DetectionFrame

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.perception.aruco import ArucoDictionary, default_dictionary
-from repro.perception.image_ops import resize_patch
 from repro.perception.neural.network import PATCH_SIZE
 
 

@@ -15,7 +15,6 @@ resource-constrained HIL platform.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 

@@ -10,7 +10,6 @@ Cuav X7+ after).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import LandingSystemConfig, mls_v3

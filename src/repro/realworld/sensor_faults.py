@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from repro.geometry import Pose, Vec3
 from repro.sensors.depth import DepthCamera
-from repro.world.weather import Weather
 from repro.world.world import World
 
 

@@ -14,6 +14,9 @@ worlds:
   weather + start / target positions).
 * :mod:`repro.world.scenario_suite` — the 10-map x 10-scenario evaluation
   suite used by the benchmark harness.
+* :mod:`repro.world.scenario_gen` — declarative scenario generation over the
+  stress axes (wind, weather, GPS drift, sensor faults, obstacle density,
+  low light, marker stress).
 """
 
 from repro.world.obstacles import Obstacle, ObstacleKind
@@ -23,6 +26,16 @@ from repro.world.world import World
 from repro.world.map_generator import MapStyle, generate_map
 from repro.world.scenario import Scenario
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
+from repro.world.scenario_gen import (
+    STRESS_AXES,
+    SUITE_PRESETS,
+    ScenarioSpec,
+    SuiteSpec,
+    Uniform,
+    axis_coverage,
+    generate_suite,
+    suite_preset,
+)
 
 __all__ = [
     "Obstacle",
@@ -36,4 +49,12 @@ __all__ = [
     "Scenario",
     "ScenarioSuite",
     "build_evaluation_suite",
+    "STRESS_AXES",
+    "SUITE_PRESETS",
+    "ScenarioSpec",
+    "SuiteSpec",
+    "Uniform",
+    "axis_coverage",
+    "generate_suite",
+    "suite_preset",
 ]

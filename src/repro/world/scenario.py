@@ -9,12 +9,13 @@ decoy markers placed within a radius of the target.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
 from repro.geometry import Vec3
-from repro.world.map_generator import MapStyle, generate_map, prune_obstacles_near
+from repro.world.map_generator import MapSpec, MapStyle, generate_map, prune_obstacles_near
 from repro.world.markers import Marker
 from repro.world.weather import Weather
 from repro.world.world import World
@@ -24,6 +25,35 @@ from repro.world.world import World
 #: of the dictionary.
 TARGET_MARKER_ID = 7
 DECOY_MARKER_IDS = (3, 11, 19, 23, 29, 35, 41)
+
+
+def sample_marker_placement(
+    rng: np.random.Generator,
+    target_distance_range: tuple[float, float],
+    gps_error_range: tuple[float, float],
+) -> tuple[Vec3, Vec3]:
+    """Draw the true marker position and the (offset) briefed GPS target.
+
+    The marker lands at a random bearing and distance from the start and the
+    GPS estimate is displaced from it by a bounded error, so the drone must
+    *search* for the pad on arrival.  Shared by :meth:`Scenario.generate`
+    (the paper's generator) and the declarative spec sampler in
+    :mod:`repro.world.scenario_gen`; the draw order (bearing, distance,
+    error, error bearing) is part of the determinism contract.
+    """
+    bearing = float(rng.uniform(0, 2 * math.pi))
+    distance = float(rng.uniform(*target_distance_range))
+    marker_position = Vec3(
+        distance * math.cos(bearing), distance * math.sin(bearing), 0.0
+    )
+    gps_error = float(rng.uniform(*gps_error_range))
+    gps_bearing = float(rng.uniform(0, 2 * math.pi))
+    gps_target = Vec3(
+        marker_position.x + gps_error * math.cos(gps_bearing),
+        marker_position.y + gps_error * math.sin(gps_bearing),
+        0.0,
+    )
+    return marker_position, gps_target
 
 
 @dataclass
@@ -57,32 +87,102 @@ class Scenario:
     marker_size: float = 0.8
     seed: int = 0
     map_name: str = ""
+    obstacle_density: float = 1.0
+    lighting: float = 1.0
+    target_occlusion: float | None = None
 
     def __post_init__(self) -> None:
         if not self.map_name:
             self.map_name = f"{self.map_style.value}-{self.map_seed}"
+        if self.obstacle_density < 0:
+            raise ValueError("obstacle_density must be non-negative")
+        if not 0.0 < self.lighting <= 1.0:
+            raise ValueError("lighting must be in (0, 1]")
+        if self.target_occlusion is not None and not 0.0 <= self.target_occlusion < 1.0:
+            raise ValueError("target_occlusion must be in [0, 1)")
 
     @property
     def is_adverse_weather(self) -> bool:
         return self.weather.is_adverse
 
+    @property
+    def effective_weather(self) -> Weather:
+        """The weather the sensors actually see, after the lighting axis.
+
+        Low light (dusk/night imaging) degrades the camera exactly the way
+        fog does — contrast loss plus extra pixel noise — and suppresses sun
+        glare, so it composes with any base weather through the same
+        :class:`Weather` fields the sensor models already consume.
+        """
+        if self.lighting >= 1.0:
+            return self.weather
+        dim = 1.0 - self.lighting
+        return replace(
+            self.weather,
+            visibility=max(0.2, self.weather.visibility * (1.0 - 0.55 * dim)),
+            image_noise=self.weather.image_noise + 0.06 * dim,
+            glare=self.weather.glare * self.lighting,
+        )
+
+    @property
+    def active_stress_axes(self) -> tuple[str, ...]:
+        """Names of the stress axes this scenario meaningfully exercises.
+
+        The thresholds mirror where the simulation surface starts reacting:
+        e.g. :class:`repro.vehicle.wind.WindModel.is_calm` treats < 0.5 m/s as
+        calm, and the GPS drift model is negligible below ~0.1 degradation.
+        """
+        axes: list[str] = []
+        w = self.weather
+        if w.wind_speed >= 1.0 or w.gust_intensity >= 0.15:
+            axes.append("wind")
+        if w.is_adverse:
+            axes.append("adverse-weather")
+        if w.gps_degradation >= 0.1:
+            axes.append("gps-drift")
+        if w.image_noise >= 0.05 or w.precipitation >= 0.25:
+            axes.append("sensor-faults")
+        if self.obstacle_density >= 1.3:
+            axes.append("obstacle-density")
+        if self.lighting <= 0.7:
+            axes.append("low-light")
+        occlusion = self.target_occlusion if self.target_occlusion is not None else 0.0
+        if occlusion >= 0.1 or self.decoy_count >= 4:
+            axes.append("marker-stress")
+        return tuple(axes)
+
     def build_world(self) -> World:
         """Instantiate the world for this scenario (map + markers + weather)."""
         rng = np.random.default_rng(self.seed)
+        spec = None
+        if self.obstacle_density != 1.0:
+            base = MapSpec.for_style(self.map_style)
+            spec = replace(
+                base,
+                building_count=round(base.building_count * self.obstacle_density),
+                tree_count=round(base.tree_count * self.obstacle_density),
+                pole_count=round(base.pole_count * self.obstacle_density),
+                wall_count=round(base.wall_count * self.obstacle_density),
+                water_count=round(base.water_count * self.obstacle_density),
+            )
         world = generate_map(
             self.map_style,
             self.map_seed,
             name=self.map_name,
+            spec=spec,
             keep_clear=[self.start_position, self.marker_position],
         )
         prune_obstacles_near(world, self.marker_position, radius=4.0)
-        world.weather = self.weather
+        world.weather = self.effective_weather
 
-        occlusion_target = 0.0
-        if self.weather.is_adverse:
+        if self.target_occlusion is not None:
+            occlusion_target = self.target_occlusion
+        elif self.weather.is_adverse:
             # Adverse weather scenarios also tend to have partially obscured
             # pads (shadows, debris) — the conditions §III.A calls out.
             occlusion_target = float(rng.uniform(0.0, 0.3))
+        else:
+            occlusion_target = 0.0
 
         markers = [
             Marker(
@@ -134,17 +234,8 @@ class Scenario:
         a bounded error, so the drone must *search* for the pad on arrival.
         """
         rng = np.random.default_rng(seed)
-        bearing = float(rng.uniform(0, 2 * math.pi))
-        distance = float(rng.uniform(*target_distance_range))
-        marker_position = Vec3(
-            distance * math.cos(bearing), distance * math.sin(bearing), 0.0
-        )
-        gps_error = float(rng.uniform(*gps_error_range))
-        gps_bearing = float(rng.uniform(0, 2 * math.pi))
-        gps_target = Vec3(
-            marker_position.x + gps_error * math.cos(gps_bearing),
-            marker_position.y + gps_error * math.sin(gps_bearing),
-            0.0,
+        marker_position, gps_target = sample_marker_placement(
+            rng, target_distance_range, gps_error_range
         )
         weather = (
             Weather.sample_adverse(rng) if adverse_weather else Weather.sample_normal(rng)
@@ -159,3 +250,37 @@ class Scenario:
             decoy_count=int(rng.integers(1, 4)),
             seed=seed,
         )
+
+    # ------------------------------------------------------------------ #
+    # serialization (JSON-compatible round trip, used by suite persistence)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible dict representation (see :meth:`from_dict`)."""
+        return {
+            "scenario_id": self.scenario_id,
+            "map_style": self.map_style.value,
+            "map_seed": self.map_seed,
+            "map_name": self.map_name,
+            "weather": self.weather.to_dict(),
+            "gps_target": list(self.gps_target.to_tuple()),
+            "marker_position": list(self.marker_position.to_tuple()),
+            "start_position": list(self.start_position.to_tuple()),
+            "decoy_count": self.decoy_count,
+            "cruise_altitude": self.cruise_altitude,
+            "marker_size": self.marker_size,
+            "seed": self.seed,
+            "obstacle_density": self.obstacle_density,
+            "lighting": self.lighting,
+            "target_occlusion": self.target_occlusion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        data = dict(data)
+        data["map_style"] = MapStyle(data["map_style"])
+        data["weather"] = Weather.from_dict(data["weather"])
+        for key in ("gps_target", "marker_position", "start_position"):
+            if key in data:
+                data[key] = Vec3.from_array(data[key])
+        return cls(**data)

@@ -7,11 +7,17 @@ divided between normal and adverse weather conditions." (§IV.B.1)
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterator
 
+from repro.jsonl import read_jsonl_frame
 from repro.world.map_generator import MapStyle
 from repro.world.scenario import Scenario
+
+#: Schema version stamped into suite JSONL headers.
+SUITE_SCHEMA_VERSION = 1
 
 #: Style of each of the ten evaluation maps.  Mirrors the paper's mix of
 #: rural, suburban and urban areas.
@@ -35,6 +41,7 @@ class ScenarioSuite:
 
     scenarios: list[Scenario] = field(default_factory=list)
     repetitions: int = 3
+    name: str = ""
 
     def __len__(self) -> int:
         return len(self.scenarios)
@@ -60,7 +67,49 @@ class ScenarioSuite:
             raise ValueError("subset count must be positive")
         step = max(1, len(self.scenarios) // count)
         picked = self.scenarios[::step][:count]
-        return ScenarioSuite(scenarios=picked, repetitions=self.repetitions)
+        return ScenarioSuite(scenarios=picked, repetitions=self.repetitions, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # persistence (JSON Lines: one header line, then one scenario per line)
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the suite as JSONL and return the path.
+
+        The serialization is canonical (sorted keys, fixed separators), so a
+        deterministic generator produces byte-identical files for the same
+        seed — which is what makes suites diffable across machines and CI
+        runs.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "scenario-suite",
+            "schema": SUITE_SCHEMA_VERSION,
+            "name": self.name,
+            "repetitions": self.repetitions,
+            "count": len(self.scenarios),
+        }
+        with path.open("w", encoding="utf-8") as handle:
+            for record in [header] + [s.to_dict() for s in self.scenarios]:
+                handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+                handle.write("\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "ScenarioSuite":
+        """Load a suite written by :meth:`to_jsonl`."""
+        path = Path(path)
+        header, payload = read_jsonl_frame(path, "scenario-suite", SUITE_SCHEMA_VERSION)
+        scenarios = [Scenario.from_dict(json.loads(line)) for line in payload]
+        if header.get("count") is not None and header["count"] != len(scenarios):
+            raise ValueError(
+                f"{path} header claims {header['count']} scenarios, found {len(scenarios)}"
+            )
+        return cls(
+            scenarios=scenarios,
+            repetitions=int(header.get("repetitions", 1)),
+            name=str(header.get("name", "")),
+        )
 
 
 def build_evaluation_suite(
@@ -96,4 +145,4 @@ def build_evaluation_suite(
                     seed=seed,
                 )
             )
-    return ScenarioSuite(scenarios=scenarios, repetitions=repetitions)
+    return ScenarioSuite(scenarios=scenarios, repetitions=repetitions, name="paper")

@@ -11,7 +11,7 @@ consume.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -79,6 +79,19 @@ class Weather:
     @staticmethod
     def clear() -> "Weather":
         return Weather(condition=WeatherCondition.CLEAR)
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible dict representation (see :meth:`from_dict`)."""
+        data = asdict(self)
+        data["condition"] = self.condition.value
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "Weather":
+        """Rebuild a weather instance from :meth:`to_dict` output."""
+        data = dict(data)
+        data["condition"] = WeatherCondition(data["condition"])
+        return Weather(**data)
 
     @staticmethod
     def preset(condition: WeatherCondition, severity: float = 1.0) -> "Weather":

@@ -9,9 +9,8 @@ camera frames and point clouds.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.geometry import AABB, Vec3
 from repro.world.markers import Marker

@@ -1,6 +1,5 @@
 """Unit tests for the landing system's decision logic (no full mission)."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,249 @@
+"""Tests for the procedural scenario-generation subsystem."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.world.map_generator import MapStyle
+from repro.world.scenario import Scenario
+from repro.world.scenario_gen import (
+    PRESET_NAMES,
+    STRESS_AXES,
+    SUITE_PRESETS,
+    ScenarioSpec,
+    SuiteSpec,
+    Uniform,
+    axis_coverage,
+    generate_suite,
+    suite_preset,
+)
+from repro.world.scenario_suite import ScenarioSuite
+from repro.world.weather import Weather, WeatherCondition
+
+
+class TestUniform:
+    def test_sample_within_bounds(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        u = Uniform(2.0, 5.0)
+        assert all(2.0 <= u.sample(rng) <= 5.0 for _ in range(100))
+
+    def test_fixed_returns_value(self):
+        import numpy as np
+
+        assert Uniform.fixed(3.0).sample(np.random.default_rng(0)) == 3.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 2.0)
+
+
+class TestScenarioExtensions:
+    def test_effective_weather_daylight_is_identity(self):
+        s = Scenario.generate("s", MapStyle.RURAL, 1, adverse_weather=False, seed=1)
+        assert s.effective_weather == s.weather
+
+    def test_low_light_degrades_imaging(self):
+        base = Scenario.generate("s", MapStyle.RURAL, 1, adverse_weather=False, seed=1)
+        from dataclasses import replace
+
+        dark = replace(base, lighting=0.3)
+        effective = dark.effective_weather
+        assert effective.visibility < base.weather.visibility
+        assert effective.image_noise > base.weather.image_noise
+
+    def test_obstacle_density_scales_map(self):
+        from dataclasses import replace
+
+        base = Scenario.generate("s", MapStyle.URBAN, 5, adverse_weather=False, seed=2)
+        dense = replace(base, obstacle_density=2.0)
+        sparse = replace(base, obstacle_density=0.3)
+        assert len(dense.build_world().obstacles) > len(base.build_world().obstacles)
+        assert len(sparse.build_world().obstacles) < len(base.build_world().obstacles)
+
+    def test_target_occlusion_override_applied(self):
+        from dataclasses import replace
+
+        base = Scenario.generate("s", MapStyle.RURAL, 1, adverse_weather=False, seed=3)
+        occluded = replace(base, target_occlusion=0.42)
+        assert occluded.build_world().target_marker.occlusion == 0.42
+
+    def test_legacy_scenarios_build_identically(self):
+        # The new fields default to no-ops: same seed, same world as before.
+        a = Scenario.generate("s", MapStyle.SUBURBAN, 2, adverse_weather=True, seed=11)
+        world_a = a.build_world()
+        world_b = a.build_world()
+        assert len(world_a.obstacles) == len(world_b.obstacles)
+        assert world_a.target_marker.occlusion == world_b.target_marker.occlusion
+
+    def test_validation(self):
+        base = Scenario.generate("s", MapStyle.RURAL, 1, adverse_weather=False, seed=1)
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(base, lighting=0.0)
+        with pytest.raises(ValueError):
+            replace(base, obstacle_density=-1.0)
+        with pytest.raises(ValueError):
+            replace(base, target_occlusion=1.0)
+
+    def test_to_dict_round_trip(self):
+        from dataclasses import replace
+
+        s = replace(
+            Scenario.generate("s", MapStyle.URBAN, 9, adverse_weather=True, seed=21),
+            lighting=0.5,
+            obstacle_density=1.7,
+            target_occlusion=0.2,
+        )
+        restored = Scenario.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert restored == s
+
+    def test_weather_round_trip(self):
+        w = Weather.preset(WeatherCondition.STORM, 0.8)
+        assert Weather.from_dict(json.loads(json.dumps(w.to_dict()))) == w
+
+
+class TestSuiteGeneration:
+    def test_same_seed_identical(self):
+        a = generate_suite("stress", count=20, seed=7)
+        b = generate_suite("stress", count=20, seed=7)
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_different_seeds_distinct(self):
+        a = generate_suite("stress", count=20, seed=7)
+        b = generate_suite("stress", count=20, seed=8)
+        assert [s.to_dict() for s in a] != [s.to_dict() for s in b]
+
+    def test_count_prefix_stability(self):
+        # Scenario i draws from its own seed stream, so growing the suite
+        # never changes the scenarios already generated.
+        small = generate_suite("stress", count=5, seed=7)
+        large = generate_suite("stress", count=25, seed=7)
+        assert [s.to_dict() for s in small] == [s.to_dict() for s in large][:5]
+
+    def test_byte_identical_across_processes(self, tmp_path):
+        local = generate_suite("stress", count=12, seed=42).to_jsonl(tmp_path / "local.jsonl")
+        script = (
+            "import sys; sys.path.insert(0, {src!r});"
+            "from repro.world.scenario_gen import generate_suite;"
+            "generate_suite('stress', count=12, seed=42).to_jsonl({out!r})"
+        ).format(src=str(__import__("pathlib").Path(__file__).parent.parent / "src"),
+                 out=str(tmp_path / "subprocess.jsonl"))
+        subprocess.run([sys.executable, "-c", script], check=True)
+        assert local.read_bytes() == (tmp_path / "subprocess.jsonl").read_bytes()
+
+    def test_scenario_ids_unique(self):
+        suite = generate_suite("stress", count=50, seed=1)
+        ids = [s.scenario_id for s in suite]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_generated_scenario_builds(self):
+        suite = generate_suite("stress", count=20, seed=3)
+        for scenario in suite:
+            world = scenario.build_world()
+            assert world.target_marker is not None
+            assert world.is_valid_landing_point(scenario.marker_position)
+
+    def test_stress_preset_spans_all_axes(self):
+        coverage = axis_coverage(generate_suite("stress", count=60, seed=7))
+        assert set(coverage) == set(STRESS_AXES)
+        assert all(hits > 0 for hits in coverage.values())
+
+    def test_suite_spec_overrides(self):
+        spec = SUITE_PRESETS["windy"]
+        suite = spec.with_overrides(count=7, seed=9, repetitions=4).generate()
+        assert len(suite) == 7
+        assert suite.repetitions == 4
+
+    def test_custom_spec(self):
+        spec = SuiteSpec(
+            name="mini",
+            count=4,
+            seed=5,
+            scenario=ScenarioSpec(
+                map_styles=(MapStyle.URBAN,),
+                adverse_probability=1.0,
+                lighting=Uniform(0.3, 0.5),
+            ),
+        )
+        suite = spec.generate()
+        assert all(s.map_style is MapStyle.URBAN for s in suite)
+        assert all(s.is_adverse_weather for s in suite)
+        assert all(0.3 <= s.lighting <= 0.5 for s in suite)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteSpec(count=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(map_styles=())
+        with pytest.raises(ValueError):
+            ScenarioSpec(adverse_probability=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(decoy_count=(3, 1))
+
+
+class TestPresets:
+    def test_paper_preset_is_the_evaluation_suite(self):
+        suite = suite_preset("paper")
+        assert len(suite) == 100
+        assert suite.adverse_count == 50
+        assert suite.name == "paper"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            suite_preset("no-such-preset")
+
+    def test_paper_preset_rejects_oversized_count(self):
+        # The paper suite is fixed at 100 scenarios; asking for more must
+        # error, not silently cap.
+        with pytest.raises(ValueError, match="fixed at 100"):
+            suite_preset("paper", count=500)
+
+    def test_all_presets_generate(self):
+        for name in PRESET_NAMES:
+            suite = generate_suite(name, count=3, seed=1)
+            assert len(suite) == 3, name
+
+    def test_axis_floor_never_reduces_weather(self):
+        # A storm's own wind must survive a mild wind-axis floor.
+        import numpy as np
+
+        spec = ScenarioSpec(adverse_probability=1.0, wind_speed=Uniform(0.0, 0.1))
+        for index in range(20):
+            weather = spec.sample_weather(np.random.default_rng(index))
+            if weather.condition in (WeatherCondition.WIND, WeatherCondition.STORM):
+                assert weather.wind_speed >= 3.0
+
+
+class TestSuiteSerialization:
+    def test_jsonl_round_trip(self, tmp_path):
+        suite = generate_suite("stress", count=10, seed=7)
+        path = suite.to_jsonl(tmp_path / "suite.jsonl")
+        restored = ScenarioSuite.from_jsonl(path)
+        assert [s.to_dict() for s in restored] == [s.to_dict() for s in suite]
+        assert restored.repetitions == suite.repetitions
+        assert restored.name == suite.name
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "campaign-result", "system": "X"}\n')
+        with pytest.raises(ValueError):
+            ScenarioSuite.from_jsonl(path)
+
+    def test_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "scenario-suite", "schema": 99, "name": "x"}\n')
+        with pytest.raises(ValueError, match="schema 99"):
+            ScenarioSuite.from_jsonl(path)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        suite = generate_suite("stress", count=5, seed=7)
+        path = suite.to_jsonl(tmp_path / "suite.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError):
+            ScenarioSuite.from_jsonl(path)

@@ -1,6 +1,5 @@
 """Tests for the synthetic downward camera."""
 
-import math
 
 import numpy as np
 import pytest

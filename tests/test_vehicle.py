@@ -1,6 +1,5 @@
 """Tests for dynamics, wind, EKF, controller and the autopilot."""
 
-import math
 
 import pytest
 
