@@ -42,6 +42,14 @@ Quickstart — registering a custom component::
     config = LandingSystemConfig.custom(detector="my-detector")
 """
 
+from repro.analysis import (
+    CampaignAnalysis,
+    CampaignComparison,
+    SystemSummary,
+    compare_campaigns,
+    summarize_records,
+    wilson_interval,
+)
 from repro.bench.campaign import (
     Campaign,
     CampaignConfig,
@@ -89,7 +97,7 @@ from repro.world.scenario_gen import (
 )
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # configuration & presets
@@ -128,6 +136,13 @@ __all__ = [
     "run_campaign",
     "run_hil_campaign",
     "run_field_campaign",
+    # analytics
+    "CampaignAnalysis",
+    "CampaignComparison",
+    "SystemSummary",
+    "compare_campaigns",
+    "summarize_records",
+    "wilson_interval",
     # scenarios
     "Scenario",
     "ScenarioSuite",

@@ -1,0 +1,202 @@
+"""Streaming access to campaign results, live or persisted.
+
+The analytics engine never materialises a whole campaign: persisted JSONL
+files are read one line at a time and each :class:`RunRecord` is handed to
+the streaming accumulators (:mod:`repro.analysis.stats`) as soon as it is
+parsed, then dropped.  The same iterator protocol wraps live
+:class:`CampaignResult` objects, so every downstream consumer — summaries,
+slicing, diffing, reports — is written once against
+:func:`iter_contexts`.
+
+A *source* is any of:
+
+* a ``CampaignResult`` or a mapping of them (what ``Campaign.run`` returns);
+* a path to one campaign-result ``.jsonl`` file;
+* a path to a directory, whose campaign-result ``*.jsonl`` files are read in
+  sorted order (files of other kinds — e.g. an exported scenario suite living
+  next to the results, as the CI smoke job lays them out — are skipped);
+* an iterable mixing any of the above.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.metrics import (
+    RESULT_SCHEMA_VERSION,
+    CampaignResult,
+    RunRecord,
+)
+from repro.jsonl import validate_frame_header
+from repro.world.scenario import Scenario
+
+#: ``kind`` values of the repo's two JSONL formats.
+RESULT_KIND = "campaign-result"
+SUITE_KIND = "scenario-suite"
+
+#: Sources accepted by :func:`iter_contexts`.
+RecordSource = Any
+
+
+@dataclass
+class RecordContext:
+    """One run record plus the join context the record itself cannot carry.
+
+    ``platform`` comes from the persisted file's header (or ``""`` for live
+    results); ``scenario`` is joined lazily by the slicing layer.
+    """
+
+    record: RunRecord
+    platform: str = ""
+    source: str = ""
+    scenario: Scenario | None = None
+
+
+def read_result_header(path: str | Path) -> dict[str, Any]:
+    """The header object of a campaign-result JSONL file (first line only)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                return json.loads(line)
+    raise ValueError(f"{path} is empty")
+
+
+def _validate_header(path: Path, header: dict[str, Any]) -> None:
+    validate_frame_header(path, header, RESULT_KIND, RESULT_SCHEMA_VERSION)
+
+
+def iter_result_records(
+    path: str | Path, *, validated: bool = False
+) -> Iterator[RunRecord]:
+    """Yield a persisted file's records one at a time (constant memory).
+
+    Mirrors :func:`repro.core.metrics.read_campaign_jsonl`'s torn-tail
+    policy without its list materialisation: a malformed *final* line — the
+    leftover of a campaign killed mid-append — is dropped with a warning,
+    while a malformed line anywhere earlier raises.  The look-ahead works by
+    holding each parse failure until the next non-blank line proves it was
+    not the tail.
+
+    ``validated=True`` skips re-parsing the header line for callers that
+    already read it (the header is still consumed, never yielded).
+    """
+    path = Path(path)
+    pending_error: Exception | None = None
+    pending_line = ""
+    with path.open("r", encoding="utf-8") as handle:
+        header_seen = False
+        for line in handle:
+            if not line.strip():
+                continue
+            if not header_seen:
+                if not validated:
+                    _validate_header(path, json.loads(line))
+                header_seen = True
+                continue
+            if pending_error is not None:
+                raise ValueError(
+                    f"{path}: malformed run record {pending_line!r}: {pending_error}"
+                ) from pending_error
+            try:
+                yield RunRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError) as error:
+                pending_error = error
+                pending_line = line.strip()[:80]
+        if not header_seen:
+            raise ValueError(f"{path} is empty")
+    if pending_error is not None:
+        warnings.warn(
+            f"dropping torn trailing record in {path} "
+            f"(campaign killed mid-append?): {pending_error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+def discover_result_files(directory: str | Path) -> tuple[list[Path], list[Path]]:
+    """Split a directory's ``*.jsonl`` files into (result files, suite files).
+
+    Files of any other kind (or unreadable ones) are skipped with a warning;
+    both lists are sorted by name so downstream iteration order — and with it
+    every report byte — is stable.
+    """
+    directory = Path(directory)
+    results: list[Path] = []
+    suites: list[Path] = []
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            kind = read_result_header(path).get("kind")
+        except (ValueError, OSError) as error:
+            warnings.warn(
+                f"skipping unreadable JSONL file {path}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        if kind == RESULT_KIND:
+            results.append(path)
+        elif kind == SUITE_KIND:
+            suites.append(path)
+        else:
+            warnings.warn(
+                f"skipping {path}: unknown JSONL kind {kind!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return results, suites
+
+
+def _iter_path_contexts(path: Path) -> Iterator[RecordContext]:
+    if path.is_dir():
+        result_files, _ = discover_result_files(path)
+        if not result_files:
+            raise ValueError(f"{path} contains no {RESULT_KIND} JSONL files")
+        for file in result_files:
+            yield from _iter_path_contexts(file)
+        return
+    header = read_result_header(path)
+    _validate_header(path, header)
+    platform = str(header.get("platform", "") or "")
+    for record in iter_result_records(path, validated=True):
+        yield RecordContext(record=record, platform=platform, source=str(path))
+
+
+def iter_contexts(source: RecordSource) -> Iterator[RecordContext]:
+    """Stream :class:`RecordContext` objects from any supported source."""
+    if isinstance(source, CampaignResult):
+        for record in source.records:
+            yield RecordContext(record=record, source=source.system_name)
+        return
+    if isinstance(source, RunRecord):
+        yield RecordContext(record=source)
+        return
+    if isinstance(source, Mapping):
+        for key in source:
+            yield from iter_contexts(source[key])
+        return
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise FileNotFoundError(f"campaign results not found: {path}")
+        yield from _iter_path_contexts(path)
+        return
+    if isinstance(source, Iterable):
+        for item in source:
+            yield from iter_contexts(item)
+        return
+    raise TypeError(
+        f"unsupported record source {type(source).__name__}; expected a "
+        f"CampaignResult, a mapping of them, a JSONL file/directory path, or "
+        f"an iterable of those"
+    )
+
+
+def iter_records(source: RecordSource) -> Iterator[RunRecord]:
+    """Like :func:`iter_contexts`, yielding the bare records."""
+    for context in iter_contexts(source):
+        yield context.record

@@ -1,0 +1,258 @@
+"""Deterministic markdown reports over analysis results.
+
+Every renderer here is a pure function of its inputs plus the explicit
+analysis parameters (seed, confidence, resamples): no timestamps, no
+machine names, no dict-ordering dependence.  Summarising the same JSONL
+with the same seed therefore produces *byte-identical* markdown — which is
+what lets CI diff a report artifact against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.bench.tables import format_markdown_table
+
+from repro.analysis.compare import CampaignComparison, PaperDelta
+from repro.analysis.stats import (
+    CONTINUOUS_METRICS,
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RESAMPLES,
+    RATE_METRICS,
+    MetricEstimate,
+    RateEstimate,
+    SystemSummary,
+)
+
+#: Human-readable column titles for the rate metrics.
+RATE_TITLES = {
+    "success": "Success",
+    "collision": "Collision",
+    "poor-landing": "Poor landing",
+    "detection-fn": "Detection FN",
+}
+
+
+def format_rate(estimate: RateEstimate) -> str:
+    """``24.67% [20.12%, 29.83%] (37/150)`` — value, Wilson CI, counts."""
+    if estimate.total == 0:
+        return "n/a (0 runs)"
+    return (
+        f"{100.0 * estimate.rate:.2f}% "
+        f"[{100.0 * estimate.low:.2f}%, {100.0 * estimate.high:.2f}%] "
+        f"({estimate.successes}/{estimate.total})"
+    )
+
+
+def format_metric(estimate: MetricEstimate) -> str:
+    """``0.254 [0.198, 0.311] (n=126)`` — mean, bootstrap CI, sample count."""
+    if estimate.count == 0 or math.isnan(estimate.mean):
+        return "n/a (n=0)"
+    return (
+        f"{estimate.mean:.3f} [{estimate.low:.3f}, {estimate.high:.3f}] "
+        f"(n={estimate.count})"
+    )
+
+
+def _signed_pp(delta: float) -> str:
+    return "n/a" if math.isnan(delta) else f"{100.0 * delta:+.2f} pp"
+
+
+def _parameters_block(seed: int, confidence: float, resamples: int) -> list[str]:
+    return [
+        f"- confidence: {100.0 * confidence:g}% (Wilson intervals for rates, "
+        f"percentile bootstrap for means)",
+        f"- bootstrap: {resamples} resamples, base seed {seed} (deterministic)",
+    ]
+
+
+def render_summary_report(
+    summaries: Mapping[str, SystemSummary],
+    *,
+    seed: int = 0,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    paper_deltas: list[PaperDelta] | None = None,
+    title: str = "Campaign analytics summary",
+) -> str:
+    """The ``summarize`` report: rates, continuous metrics, paper check."""
+    systems = sorted(summaries)
+    total_runs = sum(summaries[name].runs for name in systems)
+    lines = [f"# {title}", ""]
+    lines.append(f"- records: {total_runs} runs across {len(systems)} system(s)")
+    lines.extend(_parameters_block(seed, confidence, resamples))
+    lines.append("")
+
+    lines.append("## Outcome rates")
+    lines.append("")
+    headers = ["System", "Runs", "Adverse"] + [
+        RATE_TITLES[metric] for metric in RATE_METRICS
+    ]
+    rows = []
+    for name in systems:
+        summary = summaries[name]
+        rates = summary.rates(confidence)
+        rows.append(
+            [name, summary.runs, summary.adverse_runs]
+            + [format_rate(rates[metric]) for metric in RATE_METRICS]
+        )
+    lines.append(format_markdown_table(headers, rows))
+    lines.append("")
+
+    lines.append("## Continuous metrics (mean with bootstrap CI)")
+    lines.append("")
+    rows = []
+    for name in systems:
+        estimates = summaries[name].metrics(
+            seed=seed, confidence=confidence, resamples=resamples
+        )
+        for metric in CONTINUOUS_METRICS:
+            rows.append([name, metric, format_metric(estimates[metric])])
+    lines.append(format_markdown_table(["System", "Metric", "Estimate"], rows))
+    lines.append("")
+
+    if paper_deltas:
+        lines.append("## Paper reference (Table I, SIL)")
+        lines.append("")
+        rows = [
+            [
+                delta.system,
+                delta.metric,
+                f"{100.0 * delta.paper_rate:.2f}%",
+                format_rate(delta.reproduced),
+                "yes" if delta.paper_in_interval else "no",
+            ]
+            for delta in paper_deltas
+        ]
+        lines.append(
+            format_markdown_table(
+                ["System", "Metric", "Paper", "Reproduced", "Paper in CI?"], rows
+            )
+        )
+        lines.append(
+            "\nThe substrate is a synthetic simulator, so these are drift "
+            "indicators, not pass/fail checks."
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_slice_report(
+    factor: str,
+    slices: Mapping[str, Mapping[str, SystemSummary]],
+    *,
+    confidence: float = DEFAULT_CONFIDENCE,
+    title: str | None = None,
+) -> str:
+    """The ``slice`` report: one outcome-rate table per slice label."""
+    lines = [f"# {title or f'Campaign slice by {factor}'}", ""]
+    lines.append(f"- factor: `{factor}`, {len(slices)} slice(s)")
+    lines.append(
+        f"- confidence: {100.0 * confidence:g}% Wilson intervals"
+    )
+    lines.append("")
+    for label in sorted(slices):
+        systems = slices[label]
+        slice_runs = sum(summary.runs for summary in systems.values())
+        lines.append(f"## {label} ({slice_runs} runs)")
+        lines.append("")
+        headers = ["System", "Runs"] + [RATE_TITLES[m] for m in RATE_METRICS]
+        rows = []
+        for name in sorted(systems):
+            summary = systems[name]
+            rates = summary.rates(confidence)
+            rows.append(
+                [name, summary.runs]
+                + [format_rate(rates[metric]) for metric in RATE_METRICS]
+            )
+        lines.append(format_markdown_table(headers, rows))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_comparison_report(
+    comparison: CampaignComparison,
+    *,
+    title: str = "Campaign comparison",
+) -> str:
+    """The ``compare``/``gate`` report: per-metric deltas with verdicts."""
+    lines = [f"# {title}", ""]
+    lines.append(f"- baseline: {comparison.baseline_label}")
+    lines.append(f"- current: {comparison.current_label}")
+    lines.append(f"- significance level: alpha = {comparison.alpha:g}")
+    for label, names in (
+        ("baseline only", comparison.baseline_only),
+        ("current only", comparison.current_only),
+    ):
+        if names:
+            lines.append(f"- systems in {label} (not compared): {', '.join(names)}")
+    lines.append("")
+
+    lines.append("## Outcome rates (two-proportion z-test)")
+    lines.append("")
+    rows = [
+        [
+            delta.system,
+            delta.metric,
+            format_rate(delta.baseline),
+            format_rate(delta.current),
+            _signed_pp(delta.delta),
+            f"{delta.test.z:+.2f}",
+            f"{delta.test.p_value:.4f}",
+            delta.verdict,
+        ]
+        for delta in comparison.rates
+    ]
+    lines.append(
+        format_markdown_table(
+            ["System", "Metric", "Baseline", "Current", "Delta", "z", "p", "Verdict"],
+            rows,
+        )
+    )
+    lines.append("")
+
+    lines.append("## Continuous metrics (bootstrap CI of the difference)")
+    lines.append("")
+    rows = []
+    for delta in comparison.metrics:
+        if math.isnan(delta.diff_low):
+            diff_text = "n/a"
+        else:
+            diff_text = f"[{delta.diff_low:+.3f}, {delta.diff_high:+.3f}]"
+        rows.append(
+            [
+                delta.system,
+                delta.metric,
+                format_metric(delta.baseline),
+                format_metric(delta.current),
+                diff_text,
+                delta.verdict,
+            ]
+        )
+    lines.append(
+        format_markdown_table(
+            ["System", "Metric", "Baseline", "Current", "CI of delta", "Verdict"],
+            rows,
+        )
+    )
+    lines.append("")
+
+    regressions = comparison.regressions
+    lines.append("## Gate")
+    lines.append("")
+    if comparison.baseline_only:
+        lines.append(
+            f"**Baseline system(s) with no current records (gates as "
+            f"regression): {', '.join(comparison.baseline_only)}**"
+        )
+        lines.append("")
+    if regressions:
+        lines.append(f"**{len(regressions)} significant regression(s):**")
+        lines.append("")
+        for delta in regressions:
+            lines.append(f"- {delta.system} / {delta.metric}: {delta.verdict}")
+    elif not comparison.baseline_only:
+        lines.append("No significant regressions.")
+    lines.append("")
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from repro.bench.campaign import (
     run_field_campaign,
 )
 from repro.bench.tables import (
+    format_markdown_table,
     format_table,
     render_landing_table,
     render_detection_table,
@@ -31,6 +32,7 @@ __all__ = [
     "run_campaign",
     "run_hil_campaign",
     "run_field_campaign",
+    "format_markdown_table",
     "format_table",
     "render_landing_table",
     "render_detection_table",

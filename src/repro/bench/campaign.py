@@ -40,9 +40,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict as dataclasses_asdict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.config import LandingSystemConfig, SystemGeneration, config_for, mls_v1, mls_v2, mls_v3, preset
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import CampaignAnalysis
 from repro.core.metrics import (
     CampaignResult,
     RunRecord,
@@ -191,7 +194,7 @@ def _sha16(payload: Any) -> str:
 
 def _scenario_fingerprint(scenario: Scenario) -> str:
     """Content hash of one scenario, stored with each persisted run record."""
-    return _sha16(scenario.to_dict())
+    return scenario.fingerprint()
 
 
 def _system_needs_network(config: LandingSystemConfig) -> bool:
@@ -451,7 +454,14 @@ class Campaign:
                         self._result_path(job.system.name),
                         job.system.name,
                         record,
-                        extra_header={"campaign": context},
+                        extra_header={
+                            "campaign": context,
+                            # The one run condition a record cannot carry;
+                            # repro.analysis slices by it via this header.
+                            "platform": self._platform
+                            if isinstance(self._platform, str)
+                            else "<callable>",
+                        },
                     )
             results[job.system.name].add(record)
             if self._progress is not None:
@@ -461,6 +471,52 @@ class Campaign:
                     f"({'restored' if cached is not None else record.failure_reason or 'ok'})"
                 )
         return results
+
+    def analyze(
+        self,
+        *,
+        seed: int = 0,
+        confidence: float | None = None,
+        resamples: int | None = None,
+    ) -> "CampaignAnalysis":
+        """Run the campaign and return a :class:`CampaignAnalysis` over it.
+
+        The terminal of the fluent chain for statistical consumers::
+
+            report = (
+                Campaign(mls_v1(), mls_v3())
+                .suite("stress").parallel(4)
+                .analyze()
+                .report()
+            )
+
+        The campaign's own suite is joined automatically, so scenario-factor
+        slicing (``.slice("stress-axis")`` etc.) works out of the box.
+        ``seed`` / ``confidence`` / ``resamples`` are the bootstrap and
+        interval parameters (see :mod:`repro.analysis.stats`).
+        """
+        # Imported here: analysis is a pure consumer layer and campaign
+        # execution must not depend on it at import time.
+        from repro.analysis.engine import CampaignAnalysis
+        from repro.analysis.stats import DEFAULT_CONFIDENCE, DEFAULT_RESAMPLES
+
+        # Resolve (for specs/presets: generate) the suite once so run() and
+        # the scenario join below share one object instead of generating the
+        # suite twice; the original suite setting is restored afterwards so
+        # suite()'s "a later .seed() still applies" contract holds.
+        previous_suite = self._suite
+        self._suite = suite = self._resolved_suite()
+        try:
+            results = self.run()
+        finally:
+            self._suite = previous_suite
+        return CampaignAnalysis(
+            results,
+            suites=[suite],
+            seed=seed,
+            confidence=DEFAULT_CONFIDENCE if confidence is None else confidence,
+            resamples=DEFAULT_RESAMPLES if resamples is None else resamples,
+        )
 
     # ------------------------------------------------------------------ #
     # result persistence

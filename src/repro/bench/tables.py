@@ -21,6 +21,35 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """GitHub-flavoured markdown table (byte-stable: pure function of input).
+
+    Cells are padded to a common column width so the source reads as cleanly
+    as the render; literal pipes in cells are escaped.  Used by the analysis
+    reports (:mod:`repro.analysis.report`) next to the plain-text benches.
+    """
+    def clean(cell: object) -> str:
+        return str(cell).replace("|", "\\|")
+
+    table = [[clean(cell) for cell in row] for row in rows]
+    header_cells = [clean(header) for header in headers]
+    for row in table:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}: {row}"
+            )
+    widths = [
+        max(len(column_cell) for column_cell in column)
+        for column in zip(header_cells, *table)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(w) for cell, w in zip(cells, widths)) + " |"
+
+    lines = [line(header_cells), line(["-" * w for w in widths])]
+    lines.extend(line(row) for row in table)
+    return "\n".join(lines)
+
+
 def render_landing_table(
     results: Mapping[str, CampaignResult],
     paper: Mapping[str, Mapping[str, float]] | None = None,

@@ -17,7 +17,7 @@ import math
 import statistics
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.jsonl import read_jsonl_frame
 
@@ -83,6 +83,10 @@ class ResourceStats:
     @property
     def mean_cpu(self) -> float:
         return statistics.fmean(self.cpu_utilisation_samples) if self.cpu_utilisation_samples else 0.0
+
+    @property
+    def peak_cpu(self) -> float:
+        return max(self.cpu_utilisation_samples, default=0.0)
 
     @property
     def peak_memory_mb(self) -> float:
@@ -162,6 +166,20 @@ class RunRecord:
         return cls(**data)
 
 
+#: Record-level factor accessors: the grouping labels derivable from a
+#: :class:`RunRecord` alone (no scenario join required).  Each accessor
+#: returns the tuple of labels the record belongs to — a tuple so that
+#: multi-label factors (e.g. the scenario-joined stress axes added by
+#: :mod:`repro.analysis.slicing`) share the same shape.
+RECORD_FACTORS: dict[str, Callable[[RunRecord], tuple[str, ...]]] = {
+    "system": lambda record: (record.system_name,),
+    "outcome": lambda record: (record.outcome.value,),
+    "weather": lambda record: ("adverse" if record.adverse_weather else "normal",),
+    "scenario": lambda record: (record.scenario_id,),
+    "repetition": lambda record: (f"rep{record.repetition}",),
+}
+
+
 @dataclass
 class CampaignResult:
     """Aggregation of many run records for one system generation."""
@@ -228,13 +246,22 @@ class CampaignResult:
             merged.merge(record.resources)
         return merged
 
-    def subset(self, adverse: bool) -> "CampaignResult":
-        """Only the adverse-weather (or only the normal-weather) records."""
+    def filter(self, predicate: Callable[[RunRecord], bool]) -> "CampaignResult":
+        """A new result holding only the records ``predicate`` accepts.
+
+        This is the one slicing path shared by user code and the analytics
+        engine (:mod:`repro.analysis.slicing`); :meth:`subset` is a thin
+        wrapper over it.
+        """
         result = CampaignResult(system_name=self.system_name)
         for record in self.records:
-            if record.adverse_weather == adverse:
+            if predicate(record):
                 result.add(record)
         return result
+
+    def subset(self, adverse: bool) -> "CampaignResult":
+        """Only the adverse-weather (or only the normal-weather) records."""
+        return self.filter(lambda record: record.adverse_weather == adverse)
 
     def summary_row(self) -> dict[str, float | str]:
         """One row of Table I / III."""

@@ -9,7 +9,8 @@ all four CPU cores heavily utilised, and GPU load from TensorRT inference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from statistics import fmean
+
+from repro.core.metrics import ResourceStats
 
 
 @dataclass(frozen=True)
@@ -25,7 +26,13 @@ class UtilisationSample:
 
 @dataclass
 class ResourceMonitor:
-    """Accumulates utilisation samples over a run or a campaign."""
+    """Accumulates utilisation samples over a run or a campaign.
+
+    The mean/peak arithmetic lives in one place —
+    :class:`repro.core.metrics.ResourceStats` — and the monitor delegates to
+    it through :meth:`to_stats`, which is also how a run's samples flow into
+    the per-run :class:`~repro.core.metrics.RunRecord`.
+    """
 
     samples: list[UtilisationSample] = field(default_factory=list)
 
@@ -35,33 +42,42 @@ class ResourceMonitor:
     def __len__(self) -> int:
         return len(self.samples)
 
+    def to_stats(self) -> ResourceStats:
+        """This monitor's samples as the campaign-level stats container."""
+        return ResourceStats(
+            cpu_utilisation_samples=[s.cpu_utilisation for s in self.samples],
+            memory_mb_samples=[s.memory_mb for s in self.samples],
+            gpu_utilisation_samples=[s.gpu_utilisation for s in self.samples],
+        )
+
     @property
     def mean_cpu(self) -> float:
-        return fmean(s.cpu_utilisation for s in self.samples) if self.samples else 0.0
+        return self.to_stats().mean_cpu
 
     @property
     def peak_cpu(self) -> float:
-        return max((s.cpu_utilisation for s in self.samples), default=0.0)
+        return self.to_stats().peak_cpu
 
     @property
     def mean_memory_mb(self) -> float:
-        return fmean(s.memory_mb for s in self.samples) if self.samples else 0.0
+        return self.to_stats().mean_memory_mb
 
     @property
     def peak_memory_mb(self) -> float:
-        return max((s.memory_mb for s in self.samples), default=0.0)
+        return self.to_stats().peak_memory_mb
 
     @property
     def mean_gpu(self) -> float:
-        return fmean(s.gpu_utilisation for s in self.samples) if self.samples else 0.0
+        return self.to_stats().mean_gpu
 
     def summary(self) -> dict[str, float]:
         """The figures reported in §V.B / Fig. 7."""
+        stats = self.to_stats()
         return {
-            "mean_cpu_utilisation": round(self.mean_cpu, 3),
-            "peak_cpu_utilisation": round(self.peak_cpu, 3),
-            "mean_memory_mb": round(self.mean_memory_mb, 1),
-            "peak_memory_mb": round(self.peak_memory_mb, 1),
-            "mean_gpu_utilisation": round(self.mean_gpu, 3),
+            "mean_cpu_utilisation": round(stats.mean_cpu, 3),
+            "peak_cpu_utilisation": round(stats.peak_cpu, 3),
+            "mean_memory_mb": round(stats.mean_memory_mb, 1),
+            "peak_memory_mb": round(stats.peak_memory_mb, 1),
+            "mean_gpu_utilisation": round(stats.mean_gpu, 3),
             "samples": float(len(self.samples)),
         }

@@ -17,21 +17,17 @@ from pathlib import Path
 from typing import Any
 
 
-def read_jsonl_frame(
-    path: str | Path, expected_kind: str, max_schema: int
-) -> tuple[dict[str, Any], list[str]]:
-    """Read a JSONL file's header and raw payload lines.
+def validate_frame_header(
+    path: str | Path, header: dict[str, Any], expected_kind: str, max_schema: int
+) -> None:
+    """Enforce the kind/schema gate on an already-parsed header object.
 
-    Raises ``ValueError`` when the file is empty, is of a different kind, or
-    declares a schema version newer than ``max_schema`` (so old readers fail
-    loudly instead of misparsing future records).
+    Shared by the materialising reader below and the streaming reader in
+    :mod:`repro.analysis.io`, so the gating rules cannot drift between them.
+    Raises ``ValueError`` when the header is of a different kind or declares
+    a schema version newer than ``max_schema`` (old readers fail loudly
+    instead of misparsing future records).
     """
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        lines = [line for line in handle if line.strip()]
-    if not lines:
-        raise ValueError(f"{path} is empty")
-    header = json.loads(lines[0])
     if header.get("kind") != expected_kind:
         raise ValueError(
             f"{path} is not a {expected_kind} JSONL file (kind={header.get('kind')!r})"
@@ -42,4 +38,21 @@ def read_jsonl_frame(
             f"{path} uses {expected_kind} schema {schema}, but this version "
             f"reads at most schema {max_schema}; upgrade to read it"
         )
+
+
+def read_jsonl_frame(
+    path: str | Path, expected_kind: str, max_schema: int
+) -> tuple[dict[str, Any], list[str]]:
+    """Read a JSONL file's header and raw payload lines.
+
+    Raises ``ValueError`` when the file is empty or fails
+    :func:`validate_frame_header`.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    validate_frame_header(path, header, expected_kind, max_schema)
     return header, lines[1:]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.world.scenario_gen import (
@@ -163,6 +164,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["System", "Runs", "Success", "Collision", "Poor landing"], rows))
     if args.out:
         print(f"per-run JSONL results under {args.out} (re-run to resume)")
+    if args.report:
+        from repro.analysis import CampaignAnalysis
+
+        analysis = CampaignAnalysis(results, suites=[suite])
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(analysis.report(), encoding="utf-8")
+        print(f"analytics report written to {path}")
     return 0
 
 
@@ -201,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument("--out", default=None, help="directory for per-run JSONL results")
+    run.add_argument(
+        "--report", default=None,
+        help="write a markdown analytics report (Wilson/bootstrap CIs) here; "
+        "see python -m repro.analysis for the full toolkit",
+    )
     run.add_argument("--verbose", action="store_true", help="print one line per run")
     return parser
 

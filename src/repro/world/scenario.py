@@ -8,6 +8,8 @@ decoy markers placed within a radius of the target.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -250,6 +252,19 @@ class Scenario:
             decoy_count=int(rng.integers(1, 4)),
             seed=seed,
         )
+
+    def fingerprint(self) -> str:
+        """16-hex-char content hash of this scenario's :meth:`to_dict` form.
+
+        Stored with every persisted run record (see
+        ``RunRecord.scenario_fingerprint``) and used by the analytics layer to
+        join records back to scenario factors without trusting scenario ids
+        across differently-seeded suites.
+        """
+        encoded = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()[:16]
 
     # ------------------------------------------------------------------ #
     # serialization (JSON-compatible round trip, used by suite persistence)

@@ -5,6 +5,7 @@ import pytest
 from repro.bench import paper_values
 from repro.bench.campaign import CampaignConfig, bench_repetitions, bench_scenario_count
 from repro.bench.tables import (
+    format_markdown_table,
     format_table,
     render_detection_table,
     render_landing_accuracy,
@@ -70,6 +71,61 @@ class TestTableRendering:
     def test_render_landing_accuracy(self):
         text = render_landing_accuracy(make_campaign(), make_campaign())
         assert "SIL / HIL" in text and "Real world" in text
+
+
+class TestTableEdgeCases:
+    def test_empty_campaign_renders_zero_rates(self):
+        empty = CampaignResult(system_name="MLS-V3")
+        text = render_landing_table({"MLS-V3": empty})
+        assert "0.00%" in text
+        assert " 0" in text  # zero runs column
+
+    def test_empty_campaign_detection_and_resources(self):
+        empty = CampaignResult(system_name="MLS-V3")
+        detection = render_detection_table({"MLS-V3": empty})
+        assert "0.00" in detection  # FN rate over zero frames is 0
+        resources = render_resource_summary(empty)
+        assert "0.00 GB" in resources
+
+    def test_system_missing_from_paper_tables(self):
+        hybrid = make_campaign(name="V1.5-hybrid")
+        text = render_landing_table({"V1.5-hybrid": hybrid})
+        assert "V1.5-hybrid" in text
+        # No paper row for a custom composition: the reference column is "-".
+        row = next(line for line in text.splitlines() if "V1.5-hybrid" in line)
+        assert "| - " in row or row.rstrip().endswith("| 2")
+        detection = render_detection_table({"V1.5-hybrid": hybrid})
+        assert "nan" in detection  # paper FN reference is NaN
+
+    def test_nan_landing_error_renders(self):
+        campaign = CampaignResult(system_name="MLS-V3")
+        campaign.add(
+            RunRecord(
+                scenario_id="s0",
+                system_name="MLS-V3",
+                outcome=RunOutcome.COLLISION,
+                landing_error=float("nan"),
+            )
+        )
+        text = render_landing_accuracy(campaign, None)
+        assert "nan m" in text  # no crash, NaN shown explicitly
+
+    def test_markdown_table_shape_and_escaping(self):
+        text = format_markdown_table(["a", "b"], [["1", "x|y"], ["22", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-", " "}  # the separator row
+        assert "x\\|y" in text
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_markdown_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [["only-one"]])
+
+    def test_markdown_table_empty_rows(self):
+        text = format_markdown_table(["a", "b"], [])
+        assert text.splitlines()[0] == "| a | b |"
 
 
 class TestCampaignConfig:
