@@ -5,10 +5,20 @@ would re-run them per file) and then rendered by the individual benches.
 Campaign size is controlled by REPRO_BENCH_SCENARIOS / REPRO_BENCH_REPETITIONS;
 the defaults keep the whole benchmark suite at roughly ten minutes of wall
 clock, while 100 / 3 reproduces the paper-scale campaign.
+
+This conftest also owns ``BENCH_results.json`` (path overridable via
+``$REPRO_BENCH_RESULTS``): pytest-benchmark timings are harvested
+automatically for every bench in this directory, other modules record custom
+stats through the ``bench_results`` fixture, and the file is merged on write
+— one ``suites`` section per benchmark module — so running the microbenches
+and the campaign-throughput bench in separate sessions never clobbers the
+other's numbers.
 """
 
+import json
 import os
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -20,6 +30,120 @@ from repro.bench.campaign import CampaignConfig, run_campaign, run_field_campaig
 
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+# --------------------------------------------------------------------- #
+# BENCH_results.json: machine-readable results, merged across sessions
+# --------------------------------------------------------------------- #
+#: Collected stats for this session: {suite: {bench name: {stat: value}}}.
+_BENCH_RESULTS: dict[str, dict[str, dict[str, float]]] = {}
+
+BENCH_RESULTS_SCHEMA = 2
+
+
+def _results_path() -> Path:
+    default = Path(_BENCH_DIR).parent / "BENCH_results.json"
+    return Path(os.environ.get("REPRO_BENCH_RESULTS", default))
+
+
+def _suite_name(module_name: str) -> str:
+    return module_name.rpartition(".")[2].removeprefix("test_")
+
+
+@pytest.fixture
+def bench_results(request):
+    """Recorder for custom (non-pytest-benchmark) stats.
+
+    ``bench_results(name, runs_per_s=..., seconds=...)`` files the stats
+    under this module's suite section of ``BENCH_results.json``.
+    """
+    suite = _suite_name(request.module.__name__)
+
+    def record(name: str, **stats: float) -> None:
+        _BENCH_RESULTS.setdefault(suite, {})[name] = dict(stats)
+
+    return record
+
+
+@pytest.fixture(autouse=True)
+def _collect_benchmark_stats(request):
+    """Harvest pytest-benchmark stats from every bench that used the fixture."""
+    yield
+    fixture = request.node.funcargs.get("benchmark")
+    stats = getattr(getattr(fixture, "stats", None), "stats", None)
+    mean = getattr(stats, "mean", None)
+    if not mean:  # benchmark fixture unused, disabled, or zero-time
+        return
+    suite = _suite_name(request.module.__name__)
+    _BENCH_RESULTS.setdefault(suite, {})[request.node.name] = {
+        "mean_s": mean,
+        "stddev_s": getattr(stats, "stddev", 0.0),
+        "min_s": getattr(stats, "min", mean),
+        "rounds": getattr(stats, "rounds", len(getattr(stats, "data", []))),
+        "throughput_ops_per_s": 1.0 / mean,
+    }
+
+
+def _load_existing_suites(path: Path) -> dict[str, dict[str, dict[str, float]]]:
+    """Previously written suite sections (tolerating the schema-1 layout)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}
+    except (OSError, ValueError) as error:
+        import warnings
+
+        warnings.warn(
+            f"existing {path} is unreadable ({error}); its previous bench "
+            f"history will be replaced by this session's results",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return {}
+    suites: dict[str, dict[str, dict[str, float]]] = {}
+    if data.get("schema") == 1 and data.get("suite"):
+        entries = data.get("benchmarks", [])
+        suites[str(data["suite"])] = {
+            str(entry["name"]): {k: v for k, v in entry.items() if k != "name"}
+            for entry in entries
+            if isinstance(entry, dict) and "name" in entry
+        }
+    elif isinstance(data.get("suites"), dict):
+        for suite, entries in data["suites"].items():
+            suites[str(suite)] = {
+                str(entry["name"]): {k: v for k, v in entry.items() if k != "name"}
+                for entry in entries
+                if isinstance(entry, dict) and "name" in entry
+            }
+    return suites
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's collected stats into BENCH_results.json."""
+    if not _BENCH_RESULTS:
+        return
+    path = _results_path()
+    suites = _load_existing_suites(path)
+    # Merge per bench, not per suite: running a subset of a module (-k)
+    # must refresh only the benches that actually ran, never discard the
+    # rest of that module's tracked results.
+    for suite, benches in _BENCH_RESULTS.items():
+        suites.setdefault(suite, {}).update(benches)
+    payload = {
+        "schema": BENCH_RESULTS_SCHEMA,
+        "suites": {
+            suite: [
+                {"name": name, **{k: v for k, v in sorted(stats.items())}}
+                for name, stats in sorted(suites[suite].items())
+            ]
+            for suite in sorted(suites)
+        },
+    }
+    # Write-temp-then-replace: a session killed mid-write must not truncate
+    # the accumulated bench history.
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def pytest_collection_modifyitems(items):

@@ -1,0 +1,75 @@
+"""Campaign throughput: serial vs parallel vs dispatched execution.
+
+Times the same fixed-seed smoke campaign through the three execution paths
+— in-process serial, 2-process ``.parallel()``, and a 2-worker sharded
+dispatch (``repro.dispatch``) — and records runs/sec for each into
+``BENCH_results.json`` alongside the microbench metrics, so the overhead of
+the work-queue machinery (and any future scheduling regressions) shows up
+in the perf trajectory.
+
+The three paths must also agree on the outcomes: identical per-system
+record dicts are asserted, not just identical counts.
+"""
+
+import time
+
+from repro.bench.campaign import Campaign
+from repro.core.config import mls_v1
+from repro.world.scenario_gen import generate_suite
+
+#: Fixed-seed campaign shared by the three execution paths.
+SUITE_PRESET = "smoke"
+SUITE_COUNT = 2
+SUITE_SEED = 7
+
+
+def _campaign():
+    return (
+        Campaign(mls_v1())
+        .suite(generate_suite(SUITE_PRESET, count=SUITE_COUNT, seed=SUITE_SEED))
+        .repetitions(1)
+    )
+
+
+def _timed(run):
+    start = time.perf_counter()
+    results = run()
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def _record_dicts(result):
+    """Record dicts minus ``scenario_fingerprint``, which only persisted
+    (``.out()`` / dispatched) campaigns stamp."""
+    dicts = [record.to_dict() for record in result.records]
+    for data in dicts:
+        data.pop("scenario_fingerprint", None)
+    return dicts
+
+
+def test_campaign_throughput_serial_parallel_dispatched(bench_results, tmp_path):
+    serial, serial_s = _timed(lambda: _campaign().run())
+    parallel, parallel_s = _timed(lambda: _campaign().parallel(2).run())
+    dispatched, dispatched_s = _timed(
+        lambda: _campaign().dispatch(tmp_path / "dispatch", shards=2, workers=2)
+    )
+
+    runs = sum(len(result) for result in serial.values())
+    assert runs == SUITE_COUNT
+    for label, results in (("parallel", parallel), ("dispatched", dispatched)):
+        for name, reference in serial.items():
+            assert _record_dicts(results[name]) == _record_dicts(reference), (
+                f"{label} outcomes diverge from serial for {name}"
+            )
+
+    for name, elapsed in (
+        ("campaign_serial", serial_s),
+        ("campaign_parallel_2workers", parallel_s),
+        ("campaign_dispatched_2workers", dispatched_s),
+    ):
+        bench_results(
+            name,
+            runs=float(runs),
+            seconds=elapsed,
+            runs_per_s=runs / elapsed,
+        )

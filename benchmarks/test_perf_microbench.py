@@ -4,15 +4,11 @@ These are conventional pytest-benchmark timings; they do not correspond to a
 paper table but document where the simulation time goes and guard against
 performance regressions.
 
-Besides pytest-benchmark's own terminal table, this module writes a
-machine-readable ``BENCH_results.json`` (per-bench mean/stddev wall time and
-throughput) to the repository root — or to ``$REPRO_BENCH_RESULTS`` — so the
-perf trajectory can be tracked across commits without parsing pytest output.
+Besides pytest-benchmark's own terminal table, every timing lands in the
+machine-readable ``BENCH_results.json`` (see ``conftest.py``; path
+overridable via ``$REPRO_BENCH_RESULTS``) so the perf trajectory can be
+tracked across commits without parsing pytest output.
 """
-
-import json
-import os
-from pathlib import Path
 
 import pytest
 
@@ -27,51 +23,6 @@ from repro.planning.types import PlanningProblem
 from repro.sensors.camera import DownwardCamera
 from repro.sensors.depth import DepthCamera
 from repro.world.scenario_suite import build_evaluation_suite
-
-
-#: Collected per-bench timings, written as BENCH_results.json at module exit.
-_BENCH_RESULTS: dict[str, dict[str, float]] = {}
-
-
-def _results_path() -> Path:
-    default = Path(__file__).resolve().parent.parent / "BENCH_results.json"
-    return Path(os.environ.get("REPRO_BENCH_RESULTS", default))
-
-
-@pytest.fixture(autouse=True)
-def _collect_benchmark_stats(request):
-    """Harvest each test's pytest-benchmark stats after it runs."""
-    yield
-    fixture = request.node.funcargs.get("benchmark")
-    stats = getattr(getattr(fixture, "stats", None), "stats", None)
-    mean = getattr(stats, "mean", None)
-    if not mean:  # benchmark fixture unused, disabled, or zero-time
-        return
-    _BENCH_RESULTS[request.node.name] = {
-        "mean_s": mean,
-        "stddev_s": getattr(stats, "stddev", 0.0),
-        "min_s": getattr(stats, "min", mean),
-        "rounds": getattr(stats, "rounds", len(getattr(stats, "data", []))),
-        "throughput_ops_per_s": 1.0 / mean,
-    }
-
-
-@pytest.fixture(scope="module", autouse=True)
-def _write_bench_results():
-    """Dump everything collected in this module as BENCH_results.json."""
-    yield
-    if not _BENCH_RESULTS:
-        return
-    payload = {
-        "schema": 1,
-        "suite": "perf_microbench",
-        "benchmarks": [
-            {"name": name, **{k: v for k, v in sorted(_BENCH_RESULTS[name].items())}}
-            for name in sorted(_BENCH_RESULTS)
-        ],
-    }
-    path = _results_path()
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="module")

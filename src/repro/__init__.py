@@ -84,6 +84,16 @@ from repro.core.registry import (
     register_mapper,
     register_planner,
 )
+from repro.dispatch import (
+    DispatchPlan,
+    ShardQueue,
+    load_merged,
+    load_plan,
+    merge_dispatch,
+    plan_dispatch,
+    run_local_workers,
+    run_worker,
+)
 from repro.world.scenario import Scenario
 from repro.world.scenario_gen import (
     STRESS_AXES,
@@ -97,7 +107,7 @@ from repro.world.scenario_gen import (
 )
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # configuration & presets
@@ -136,6 +146,15 @@ __all__ = [
     "run_campaign",
     "run_hil_campaign",
     "run_field_campaign",
+    # distributed dispatch
+    "DispatchPlan",
+    "ShardQueue",
+    "load_merged",
+    "load_plan",
+    "merge_dispatch",
+    "plan_dispatch",
+    "run_local_workers",
+    "run_worker",
     # analytics
     "CampaignAnalysis",
     "CampaignComparison",

@@ -20,7 +20,6 @@ A *source* is any of:
 
 from __future__ import annotations
 
-import json
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,8 +29,9 @@ from repro.core.metrics import (
     RESULT_SCHEMA_VERSION,
     CampaignResult,
     RunRecord,
+    parse_record_line,
 )
-from repro.jsonl import validate_frame_header
+from repro.jsonl import iter_frame_records, read_frame_header, validate_frame_header
 from repro.world.scenario import Scenario
 
 #: ``kind`` values of the repo's two JSONL formats.
@@ -58,12 +58,7 @@ class RecordContext:
 
 def read_result_header(path: str | Path) -> dict[str, Any]:
     """The header object of a campaign-result JSONL file (first line only)."""
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                return json.loads(line)
-    raise ValueError(f"{path} is empty")
+    return read_frame_header(path)
 
 
 def _validate_header(path: Path, header: dict[str, Any]) -> None:
@@ -75,47 +70,22 @@ def iter_result_records(
 ) -> Iterator[RunRecord]:
     """Yield a persisted file's records one at a time (constant memory).
 
-    Mirrors :func:`repro.core.metrics.read_campaign_jsonl`'s torn-tail
-    policy without its list materialisation: a malformed *final* line — the
-    leftover of a campaign killed mid-append — is dropped with a warning,
-    while a malformed line anywhere earlier raises.  The look-ahead works by
-    holding each parse failure until the next non-blank line proves it was
-    not the tail.
+    A thin wrapper over the shared torn-tail-tolerant line-stream reader
+    (:func:`repro.jsonl.iter_frame_records`), so its policy — drop a
+    malformed *final* line with a warning, raise on a malformed line
+    anywhere earlier — is exactly :func:`read_campaign_jsonl`'s.
 
     ``validated=True`` skips re-parsing the header line for callers that
     already read it (the header is still consumed, never yielded).
     """
-    path = Path(path)
-    pending_error: Exception | None = None
-    pending_line = ""
-    with path.open("r", encoding="utf-8") as handle:
-        header_seen = False
-        for line in handle:
-            if not line.strip():
-                continue
-            if not header_seen:
-                if not validated:
-                    _validate_header(path, json.loads(line))
-                header_seen = True
-                continue
-            if pending_error is not None:
-                raise ValueError(
-                    f"{path}: malformed run record {pending_line!r}: {pending_error}"
-                ) from pending_error
-            try:
-                yield RunRecord.from_dict(json.loads(line))
-            except (ValueError, KeyError, TypeError) as error:
-                pending_error = error
-                pending_line = line.strip()[:80]
-        if not header_seen:
-            raise ValueError(f"{path} is empty")
-    if pending_error is not None:
-        warnings.warn(
-            f"dropping torn trailing record in {path} "
-            f"(campaign killed mid-append?): {pending_error}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    yield from iter_frame_records(
+        path,
+        RESULT_KIND,
+        RESULT_SCHEMA_VERSION,
+        parse_record_line,
+        description="run record",
+        skip_header_validation=validated,
+    )
 
 
 def discover_result_files(directory: str | Path) -> tuple[list[Path], list[Path]]:
@@ -155,6 +125,13 @@ def _iter_path_contexts(path: Path) -> Iterator[RecordContext]:
     if path.is_dir():
         result_files, _ = discover_result_files(path)
         if not result_files:
+            # A dispatch directory (repro.dispatch) holds its combined
+            # results one level down, under merged/; fall through to it so
+            # `repro.analysis summarize <dispatch-dir>` works directly.
+            merged = path / "merged"
+            if merged.is_dir() and discover_result_files(merged)[0]:
+                yield from _iter_path_contexts(merged)
+                return
             raise ValueError(f"{path} contains no {RESULT_KIND} JSONL files")
         for file in result_files:
             yield from _iter_path_contexts(file)

@@ -192,6 +192,31 @@ def _sha16(payload: Any) -> str:
     return hashlib.sha256(encoded).hexdigest()[:16]
 
 
+def campaign_result_filename(system_name: str) -> str:
+    """The JSONL filename ``Campaign.out`` persists a system's records under.
+
+    Shared with :mod:`repro.dispatch.merge` so merged shard outputs land on
+    exactly the filenames a single-process campaign would have written.
+    """
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", system_name) + ".jsonl"
+
+
+def campaign_context_fingerprint(
+    mission: MissionConfig, platform: str | Callable[[], ExecutionPlatform]
+) -> str:
+    """Identity of a run *context* (mission config + platform).
+
+    Stored in result headers so resuming — or merging shards — against
+    results flown with different mission timings or on another platform is
+    refused instead of silently reported.
+    """
+    payload = {
+        "mission": dataclasses_asdict(mission),
+        "platform": platform if isinstance(platform, str) else "<callable>",
+    }
+    return _sha16(payload)
+
+
 def _scenario_fingerprint(scenario: Scenario) -> str:
     """Content hash of one scenario, stored with each persisted run record."""
     return scenario.fingerprint()
@@ -518,28 +543,79 @@ class Campaign:
             resamples=DEFAULT_RESAMPLES if resamples is None else resamples,
         )
 
+    def dispatch(
+        self,
+        directory: str | Path,
+        *,
+        shards: int,
+        workers: int | None = None,
+        lease_seconds: float = 60.0,
+    ) -> dict[str, CampaignResult]:
+        """Run the campaign as a sharded work queue under ``directory``.
+
+        The distributed-execution terminal of the fluent chain::
+
+            results = (
+                Campaign(mls_v1(), mls_v3())
+                .suite("stress")
+                .dispatch("runs/stress", shards=8, workers=4)
+            )
+
+        The campaign is planned into ``shards`` content-fingerprinted shard
+        manifests (see :mod:`repro.dispatch`), executed by ``workers`` local
+        worker processes (default: this campaign's ``.parallel(...)`` count)
+        and merged back into per-system JSONL files that are byte-identical
+        to what a single-process ``.out(directory).run()`` would have
+        written.  ``directory`` can simultaneously be served by workers on
+        other machines (``python -m repro.dispatch work <directory>``), and
+        re-dispatching the same campaign into the same directory resumes
+        instead of re-flying.
+        """
+        # Imported here: the dispatch layer orchestrates campaigns and
+        # imports this module, so the dependency cannot be import-time.
+        from repro.dispatch.merge import load_merged, merge_dispatch
+        from repro.dispatch.planner import plan_dispatch
+        from repro.dispatch.worker import run_local_workers
+
+        if not isinstance(self._platform, str):
+            raise ValueError(
+                "dispatch requires a string platform key (workers on other "
+                "machines cannot import a local factory callable)"
+            )
+        suite = self._resolved_suite()
+        repetitions = self._repetitions if self._repetitions is not None else suite.repetitions
+        plan_dispatch(
+            directory,
+            suite,
+            self._resolved_systems(),
+            shards=shards,
+            repetitions=repetitions,
+            mission=self._mission,
+            platform=self._platform,
+        )
+        run_local_workers(
+            directory,
+            workers=workers if workers is not None else max(self._workers, 1),
+            lease_seconds=lease_seconds,
+        )
+        merge_dispatch(directory)
+        return load_merged(directory)
+
     # ------------------------------------------------------------------ #
     # result persistence
     # ------------------------------------------------------------------ #
     def _result_path(self, system_name: str) -> Path:
         assert self._out is not None
-        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", system_name)
-        return self._out / f"{slug}.jsonl"
+        return self._out / campaign_result_filename(system_name)
 
     def _context_fingerprint(self) -> str:
-        """Identity of the run *context* (mission config + platform).
+        """See :func:`campaign_context_fingerprint`.
 
-        Stored in result headers so resuming against results flown with
-        different mission timings or on another platform is refused instead
-        of silently reported.  Scenario contents are guarded separately and
-        per record (see ``RunRecord.scenario_fingerprint``), so growing a
-        suite or its repetition count still resumes.
+        Scenario contents are guarded separately and per record (see
+        ``RunRecord.scenario_fingerprint``), so growing a suite or its
+        repetition count still resumes.
         """
-        payload = {
-            "mission": dataclasses_asdict(self._mission),
-            "platform": self._platform if isinstance(self._platform, str) else "<callable>",
-        }
-        return _sha16(payload)
+        return campaign_context_fingerprint(self._mission, self._platform)
 
     def _load_persisted(
         self, systems: Sequence[LandingSystemConfig], context: str

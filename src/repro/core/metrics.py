@@ -19,7 +19,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.jsonl import read_jsonl_frame
+from repro.jsonl import iter_frame_records, read_frame_header, validate_frame_header
 
 #: Schema version stamped into campaign-result JSONL headers.
 RESULT_SCHEMA_VERSION = 1
@@ -323,6 +323,11 @@ def write_campaign_jsonl(
     return path
 
 
+def parse_record_line(line: str) -> RunRecord:
+    """Parse one campaign-result JSONL payload line into a :class:`RunRecord`."""
+    return RunRecord.from_dict(json.loads(line))
+
+
 def read_campaign_jsonl(path: str | Path) -> tuple[dict[str, Any], list[RunRecord], bool]:
     """Parse a campaign-result JSONL file into (header, records, torn_tail).
 
@@ -331,28 +336,22 @@ def read_campaign_jsonl(path: str | Path) -> tuple[dict[str, Any], list[RunRecor
     line is dropped with a warning so the campaign can still resume.  A
     malformed header or a malformed line anywhere *before* the tail raises.
     """
-    import warnings
-
     path = Path(path)
-    header, payload = read_jsonl_frame(path, "campaign-result", RESULT_SCHEMA_VERSION)
-    records: list[RunRecord] = []
-    torn = False
-    for index, line in enumerate(payload):
-        lineno = index + 2
-        try:
-            records.append(RunRecord.from_dict(json.loads(line)))
-        except (ValueError, KeyError, TypeError) as error:
-            if index == len(payload) - 1:
-                torn = True
-                warnings.warn(
-                    f"dropping torn trailing record in {path} "
-                    f"(campaign killed mid-append?): {error}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                break
-            raise ValueError(f"{path}:{lineno}: malformed run record: {error}") from error
-    return header, records, torn
+    header = read_frame_header(path)
+    validate_frame_header(path, header, "campaign-result", RESULT_SCHEMA_VERSION)
+    torn_errors: list[Exception] = []
+    records = list(
+        iter_frame_records(
+            path,
+            "campaign-result",
+            RESULT_SCHEMA_VERSION,
+            parse_record_line,
+            description="run record",
+            skip_header_validation=True,
+            on_torn_tail=torn_errors.append,
+        )
+    )
+    return header, records, bool(torn_errors)
 
 
 def append_record_jsonl(

@@ -1,0 +1,6 @@
+"""``python -m repro.dispatch`` entry point."""
+
+from repro.dispatch.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,11 @@ both :mod:`repro.core.metrics` and :mod:`repro.world.scenario_suite`.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Iterator, TypeVar
+
+T = TypeVar("T")
 
 
 def validate_frame_header(
@@ -56,3 +59,77 @@ def read_jsonl_frame(
     header = json.loads(lines[0])
     validate_frame_header(path, header, expected_kind, max_schema)
     return header, lines[1:]
+
+
+def read_frame_header(path: str | Path) -> dict[str, Any]:
+    """The header object of a framed JSONL file (first non-blank line only)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                return json.loads(line)
+    raise ValueError(f"{path} is empty")
+
+
+def iter_frame_records(
+    path: str | Path,
+    expected_kind: str,
+    max_schema: int,
+    parse: Callable[[str], T],
+    *,
+    description: str = "record",
+    skip_header_validation: bool = False,
+    on_torn_tail: Callable[[Exception], None] | None = None,
+) -> Iterator[T]:
+    """Yield ``parse(line)`` for each payload line, one at a time.
+
+    This is the one torn-tail-tolerant line-stream reader shared by
+    :func:`repro.core.metrics.read_campaign_jsonl`,
+    :func:`repro.analysis.io.iter_result_records` and the shard merger
+    (:mod:`repro.dispatch.merge`): a malformed *final* line — the leftover of
+    a process killed mid-append — is dropped with a warning (and reported to
+    ``on_torn_tail`` when given), while a malformed line anywhere earlier
+    raises.  The look-ahead works by holding each parse failure until the
+    next non-blank line proves it was not the tail.
+
+    ``skip_header_validation=True`` skips re-parsing the header line for
+    callers that already read it (the header is still consumed, never
+    yielded); ``parse`` failures are recognised as ``ValueError`` /
+    ``KeyError`` / ``TypeError``.
+    """
+    path = Path(path)
+    pending_error: Exception | None = None
+    pending_line = ""
+    pending_lineno = 0
+    with path.open("r", encoding="utf-8") as handle:
+        header_seen = False
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            if not header_seen:
+                if not skip_header_validation:
+                    validate_frame_header(path, json.loads(line), expected_kind, max_schema)
+                header_seen = True
+                continue
+            if pending_error is not None:
+                raise ValueError(
+                    f"{path}:{pending_lineno}: malformed {description} "
+                    f"{pending_line!r}: {pending_error}"
+                ) from pending_error
+            try:
+                yield parse(line)
+            except (ValueError, KeyError, TypeError) as error:
+                pending_error = error
+                pending_line = line.strip()[:80]
+                pending_lineno = lineno
+        if not header_seen:
+            raise ValueError(f"{path} is empty")
+    if pending_error is not None:
+        warnings.warn(
+            f"dropping torn trailing record in {path} "
+            f"(campaign killed mid-append?): {pending_error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if on_torn_tail is not None:
+            on_torn_tail(pending_error)

@@ -40,7 +40,7 @@ byte-identical.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Iterable
 
 import numpy as np
@@ -81,6 +81,19 @@ class Uniform:
     @staticmethod
     def fixed(value: float) -> "Uniform":
         return Uniform(value, value)
+
+    @classmethod
+    def from_value(cls, value: Any) -> "Uniform":
+        """Coerce a JSON-ish value: ``{"low","high"}``, ``[low, high]`` or a number."""
+        if isinstance(value, Uniform):
+            return value
+        if isinstance(value, dict):
+            return cls(float(value["low"]), float(value["high"]))
+        if isinstance(value, (list, tuple)) and len(value) == 2:
+            return cls(float(value[0]), float(value[1]))
+        if isinstance(value, (int, float)):
+            return cls.fixed(float(value))
+        raise ValueError(f"cannot interpret {value!r} as a Uniform range")
 
 
 def _clamp(value: float, low: float, high: float) -> float:
@@ -197,6 +210,38 @@ class ScenarioSpec:
         data["map_styles"] = [style.value for style in self.map_styles]
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (exact round trip).
+
+        Missing keys fall back to defaults, so hand-written partial dicts
+        (e.g. a ``--spec`` JSON file for ``python -m repro.dispatch``) are
+        accepted too.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec keys: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        range_fields = {
+            "weather_severity", "wind_speed", "gust_intensity", "gps_degradation",
+            "image_noise", "precipitation", "obstacle_density", "lighting",
+            "target_occlusion", "gps_error", "target_distance", "marker_size",
+        }
+        kwargs: dict[str, Any] = {}
+        for key, value in data.items():
+            if key == "map_styles":
+                kwargs[key] = tuple(MapStyle(style) for style in value)
+            elif key == "decoy_count":
+                kwargs[key] = (int(value[0]), int(value[1]))
+            elif key in range_fields and value is not None:
+                kwargs[key] = Uniform.from_value(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class SuiteSpec:
@@ -270,6 +315,29 @@ class SuiteSpec:
         data = asdict(self)
         data["scenario"] = self.scenario.to_dict()
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SuiteSpec":
+        """Rebuild a suite spec from :meth:`to_dict` output.
+
+        The inverse that makes specs a file format: a spec exported (or
+        hand-written) as JSON can drive ``generate_suite`` and the dispatch
+        planner's ``--spec`` option on any machine.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SuiteSpec keys: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs: dict[str, Any] = dict(data)
+        scenario = kwargs.pop("scenario", None)
+        if scenario is not None and not isinstance(scenario, ScenarioSpec):
+            scenario = ScenarioSpec.from_dict(scenario)
+        if scenario is not None:
+            kwargs["scenario"] = scenario
+        return cls(**kwargs)
 
 
 # ---------------------------------------------------------------------- #

@@ -69,6 +69,24 @@ class ScenarioSuite:
         picked = self.scenarios[::step][:count]
         return ScenarioSuite(scenarios=picked, repetitions=self.repetitions, name=self.name)
 
+    def slice(self, start: int, stop: int) -> "ScenarioSuite":
+        """The contiguous sub-suite covering scenarios ``[start, stop)``.
+
+        Unlike :meth:`subset` (which strides to keep the normal/adverse
+        interleaving) this preserves suite order exactly, which is what the
+        dispatch shard planner needs: concatenating every shard's slice in
+        shard order reproduces the full suite.
+        """
+        if not 0 <= start < stop <= len(self.scenarios):
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) of a {len(self.scenarios)}-scenario suite"
+            )
+        return ScenarioSuite(
+            scenarios=self.scenarios[start:stop],
+            repetitions=self.repetitions,
+            name=self.name,
+        )
+
     # ------------------------------------------------------------------ #
     # persistence (JSON Lines: one header line, then one scenario per line)
     # ------------------------------------------------------------------ #

@@ -247,3 +247,31 @@ class TestSuiteSerialization:
         path.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(ValueError):
             ScenarioSuite.from_jsonl(path)
+
+
+class TestSpecSerialization:
+    def test_suite_spec_json_round_trip(self):
+        for name, spec in SUITE_PRESETS.items():
+            payload = json.loads(json.dumps(spec.to_dict()))
+            restored = SuiteSpec.from_dict(payload)
+            assert restored == spec, name
+            # A restored spec generates the identical suite.
+            assert [s.to_dict() for s in restored.generate()] == [
+                s.to_dict() for s in spec.generate()
+            ], name
+
+    def test_partial_scenario_spec_accepted(self):
+        spec = ScenarioSpec.from_dict({"wind_speed": [2.0, 8.0], "lighting": 0.4})
+        assert spec.wind_speed == Uniform(2.0, 8.0)
+        assert spec.lighting == Uniform.fixed(0.4)
+        assert spec.adverse_probability == 0.5  # default preserved
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown SuiteSpec keys"):
+            SuiteSpec.from_dict({"countt": 5})
+        with pytest.raises(ValueError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_dict({"wind": [0, 1]})
+
+    def test_uniform_from_value_rejects_junk(self):
+        with pytest.raises(ValueError, match="as a Uniform range"):
+            Uniform.from_value("windy")
