@@ -1,0 +1,101 @@
+"""Fault-injection benches: harness overhead and fault-campaign throughput.
+
+Two questions, both recorded into ``BENCH_results.json``:
+
+* **Injection overhead** — a nominal campaign with a *no-op* fault harness
+  attached (every spec armed with probability 0, so the hooks run on every
+  tick but never perturb anything) must cost < 5% over the same campaign
+  with no harness at all.  The hooks sit on the per-tick hot path of every
+  future fault campaign, so this is the number that must not regress.
+* **Fault-campaign throughput** — runs/sec of a real fault campaign (the
+  ``smoke`` fault preset), for the perf trajectory.
+
+Timing uses the best of several rounds, which is robust against scheduler
+noise on shared CI runners.
+"""
+
+import time
+
+from repro.bench.campaign import Campaign
+from repro.core.config import mls_v1
+from repro.core.mission import MissionConfig
+from repro.faults.spec import FAULT_MODES, FaultSpec
+from repro.world.scenario_gen import generate_suite
+
+SUITE_PRESET = "smoke"
+SUITE_COUNT = 2
+SUITE_SEED = 7
+ROUNDS = 3
+#: Bounded missions keep a round at a few seconds without changing the
+#: per-tick hook cost being measured.
+MISSION = MissionConfig(max_mission_time=60.0)
+
+#: One disarmed spec per target: every harness hook path stays exercised
+#: (filter_frame, filter_cloud, filter_estimate, wrappers, corrupt_mapping,
+#: filter_command, adjust_timings) while probability=0 keeps all of them
+#: no-ops — the harness tax with none of the fault effects.
+NOOP_FAULTS = tuple(
+    FaultSpec(target=target, mode=modes[0], probability=0.0)
+    for target, modes in sorted(FAULT_MODES.items())
+)
+
+
+def _campaign():
+    return (
+        Campaign(mls_v1())
+        .suite(generate_suite(SUITE_PRESET, count=SUITE_COUNT, seed=SUITE_SEED))
+        .repetitions(1)
+        .mission(MISSION)
+    )
+
+
+def _best_of(run, rounds=ROUNDS):
+    best = float("inf")
+    results = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        results = run()
+        best = min(best, time.perf_counter() - start)
+    return results, best
+
+
+def test_noop_harness_overhead_under_5_percent(bench_results):
+    baseline_results, baseline_s = _best_of(lambda: _campaign().run())
+    noop_results, noop_s = _best_of(lambda: _campaign().faults(*NOOP_FAULTS).run())
+
+    # A disarmed harness must not change any outcome, only (bounded) cost.
+    for name, reference in baseline_results.items():
+        harnessed = noop_results[name]
+        assert [r.outcome for r in harnessed.records] == [
+            r.outcome for r in reference.records
+        ]
+        assert all(
+            not fault["armed"] for r in harnessed.records for fault in r.injected_faults
+        )
+
+    overhead = noop_s / baseline_s - 1.0
+    bench_results(
+        "fault_harness_noop_overhead",
+        baseline_s=baseline_s,
+        noop_harness_s=noop_s,
+        overhead_fraction=overhead,
+    )
+    assert overhead < 0.05, (
+        f"no-op fault harness costs {100.0 * overhead:.1f}% over a bare campaign "
+        f"({noop_s:.2f}s vs {baseline_s:.2f}s); the injection hooks must stay "
+        f"under 5%"
+    )
+
+
+def test_fault_campaign_throughput(bench_results):
+    results, elapsed = _best_of(
+        lambda: _campaign().faults("smoke").run(), rounds=1
+    )
+    runs = sum(len(result) for result in results.values())
+    assert runs == SUITE_COUNT
+    bench_results(
+        "fault_campaign_smoke",
+        runs=float(runs),
+        seconds=elapsed,
+        runs_per_s=runs / elapsed,
+    )

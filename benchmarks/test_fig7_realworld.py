@@ -21,7 +21,10 @@ def test_realworld_landing_accuracy_degrades(benchmark, field_campaign_result, s
         render_landing_accuracy, sil_campaign_results["MLS-V3"], field_campaign_result
     )
     print("\n" + table)
-    sil_error = sil_campaign_results["MLS-V3"].mean_landing_error
-    field_error = field_campaign_result.mean_landing_error
+    # Success-only means: §V.C's comparison (60 cm real-world vs 25 cm SIL)
+    # is about landings that worked, and the all-landed mean is swamped by
+    # metre-scale poor-landing outliers at this campaign size.
+    sil_error = sil_campaign_results["MLS-V3"].success_mean_landing_error
+    field_error = field_campaign_result.success_mean_landing_error
     if field_error == field_error and sil_error == sil_error:
         assert field_error >= sil_error * 0.8  # wind + GPS drift should not improve accuracy

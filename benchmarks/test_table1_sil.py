@@ -33,9 +33,15 @@ def test_table2_marker_detection(benchmark, sil_campaign_results):
 
 
 def test_sil_landing_accuracy(benchmark, sil_campaign_results):
-    """§V.C reference point: SIL landing error (paper ~0.25 m)."""
+    """§V.C reference point: SIL landing error (paper ~0.25 m).
+
+    Measured over *successful* landings (``success_mean_landing_error``),
+    which is the paper's quantity: the all-landed mean also averages poor
+    landings that touched down metres away (e.g. on a decoy), and at bench
+    campaign sizes one such outlier swamps the centimetre-scale signal.
+    """
     table = benchmark(render_landing_accuracy, sil_campaign_results["MLS-V3"], None)
     print("\n" + table)
-    error = sil_campaign_results["MLS-V3"].mean_landing_error
+    error = sil_campaign_results["MLS-V3"].success_mean_landing_error
     assert error == error, "no successful landings to measure"
     assert error < 1.0

@@ -94,6 +94,17 @@ from repro.dispatch import (
     run_local_workers,
     run_worker,
 )
+from repro.faults import (
+    FAULT_MODES,
+    FAULT_PRESETS,
+    FailureMode,
+    FaultHarness,
+    FaultSpec,
+    accumulate_coverage,
+    classify_record,
+    render_coverage_report,
+    resolve_faults,
+)
 from repro.world.scenario import Scenario
 from repro.world.scenario_gen import (
     STRESS_AXES,
@@ -107,7 +118,7 @@ from repro.world.scenario_gen import (
 )
 from repro.world.scenario_suite import ScenarioSuite, build_evaluation_suite
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # configuration & presets
@@ -155,6 +166,16 @@ __all__ = [
     "plan_dispatch",
     "run_local_workers",
     "run_worker",
+    # fault injection & failure modes
+    "FAULT_MODES",
+    "FAULT_PRESETS",
+    "FailureMode",
+    "FaultHarness",
+    "FaultSpec",
+    "accumulate_coverage",
+    "classify_record",
+    "render_coverage_report",
+    "resolve_faults",
     # analytics
     "CampaignAnalysis",
     "CampaignComparison",

@@ -13,7 +13,7 @@ cached), so persisted campaigns of any size stream instead of loading.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.analysis.compare import (
     DEFAULT_ALPHA,
@@ -31,6 +31,9 @@ from repro.analysis.stats import (
     SystemSummary,
     summarize_records,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.coverage import CoverageReport
 
 
 class CampaignAnalysis:
@@ -69,6 +72,7 @@ class CampaignAnalysis:
         self.confidence = confidence
         self.resamples = resamples
         self._summaries: dict[str, SystemSummary] | None = None
+        self._coverage: "CoverageReport | None" = None
         self._index = ScenarioIndex.from_sources(suites) if suites else ScenarioIndex()
         if isinstance(source, (str, Path)) and Path(source).is_dir():
             _, suite_files = discover_result_files(source)
@@ -81,20 +85,49 @@ class CampaignAnalysis:
         return iter_contexts(self._source)
 
     def summaries(self) -> dict[str, SystemSummary]:
-        """Per-system streaming summaries (computed once, then cached)."""
+        """Per-system streaming summaries (computed once, then cached).
+
+        Fault-coverage counters accumulate in the same pass, so a summary
+        report over a persisted campaign reads each file exactly once.
+        """
         if self._summaries is None:
-            self._summaries = summarize_records(
-                context.record for context in self.contexts()
-            )
+            from repro.faults.coverage import CoverageReport
+
+            coverage = CoverageReport()
+
+            def stream():
+                for context in self.contexts():
+                    coverage.add(context.record)
+                    yield context.record
+
+            self._summaries = summarize_records(stream())
+            self._coverage = coverage
         return self._summaries
 
     def paper_deltas(self) -> list[PaperDelta]:
         """Reproduced rates next to the paper's Table I values."""
         return compare_to_paper(self.summaries(), confidence=self.confidence)
 
+    def coverage(self) -> "CoverageReport":
+        """Fault-coverage accounting over the source's records.
+
+        See :mod:`repro.faults.coverage`; meaningful when the campaign was
+        flown with a fault axis (``Campaign.faults(...)``), and free —
+        piggybacked on the :meth:`summaries` pass — when it was not.
+        """
+        if self._coverage is None:
+            self.summaries()
+        assert self._coverage is not None
+        return self._coverage
+
     def report(self, title: str = "Campaign analytics summary") -> str:
-        """The deterministic ``summarize`` markdown report."""
-        return render_summary_report(
+        """The deterministic ``summarize`` markdown report.
+
+        Campaigns flown with fault injection additionally get a
+        fault-coverage section (per-fault detection/absorption accounting
+        and the failure-mode breakdown).
+        """
+        rendered = render_summary_report(
             self.summaries(),
             seed=self.seed,
             confidence=self.confidence,
@@ -102,6 +135,14 @@ class CampaignAnalysis:
             paper_deltas=self.paper_deltas(),
             title=title,
         )
+        coverage = self.coverage()
+        if coverage.fault_runs:
+            from repro.faults.coverage import render_coverage_section
+
+            rendered = "\n".join(
+                [rendered, "## Fault injection", "", render_coverage_section(coverage), ""]
+            )
+        return rendered
 
     # ------------------------------------------------------------------ #
     def slice(self, factor: str) -> dict[str, dict[str, SystemSummary]]:

@@ -19,7 +19,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.core.metrics import RECORD_FACTORS
+from repro.core.metrics import RECORD_FACTORS, RunRecord
+from repro.faults.classifier import activated_faults, failure_mode_label
 from repro.world.scenario import Scenario
 from repro.world.scenario_gen import SuiteSpec
 from repro.world.scenario_suite import ScenarioSuite
@@ -175,6 +176,17 @@ def _stress_axes(scenario: Scenario) -> tuple[str, ...]:
     return scenario.active_stress_axes or ("(no axis)",)
 
 
+#: Label used by the fault factors when a run had no activated fault.
+NO_FAULT = "(no fault)"
+
+
+def _activated_fault_labels(record: RunRecord, key: str) -> tuple[str, ...]:
+    labels = tuple(
+        sorted({str(fault.get(key, "(unknown)")) for fault in activated_faults(record)})
+    )
+    return labels or (NO_FAULT,)
+
+
 #: Every registered factor.  Record-level accessors are lifted from
 #: ``repro.core.metrics.RECORD_FACTORS``; the rest need the scenario join
 #: (label ``(unjoined)`` when no suite provided the scenario) or the
@@ -197,6 +209,11 @@ FACTORS: dict[str, FactorFn] = {
     "map": _scenario_factor(lambda scenario: (scenario.map_name,)),
     "map-style": _scenario_factor(lambda scenario: (scenario.map_style.value,)),
     "platform": lambda context: (context.platform or "(unknown)",),
+    # Fault-injection factors (see repro.faults): a record lands in one
+    # slice per *activated* injected fault, so overlapping faults fan out.
+    "fault": lambda context: _activated_fault_labels(context.record, "name"),
+    "fault-target": lambda context: _activated_fault_labels(context.record, "target"),
+    "failure-mode": lambda context: (failure_mode_label(context.record),),
 }
 
 #: Factor names exposed to the CLI, sorted for stable help text.

@@ -32,8 +32,6 @@ benchmarks.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 import re
 from concurrent.futures import ProcessPoolExecutor
@@ -47,6 +45,7 @@ from repro.core.config import LandingSystemConfig, SystemGeneration, config_for,
 if TYPE_CHECKING:
     from repro.analysis.engine import CampaignAnalysis
 from repro.core.metrics import (
+    RESULT_SCHEMA_VERSION,
     CampaignResult,
     RunRecord,
     append_record_jsonl,
@@ -56,7 +55,9 @@ from repro.core.metrics import (
 from repro.core.mission import MissionConfig, MissionRunner
 from repro.core.platform import DesktopPlatform, ExecutionPlatform
 from repro.core.registry import DETECTOR, REGISTRY
+from repro.faults.spec import FaultSpec, ensure_unique_names, resolve_faults
 from repro.hil.jetson import JetsonNanoPlatform, JetsonNanoSpec
+from repro.jsonl import sha16_of_json
 from repro.perception.neural.training import load_pretrained_detector_net
 from repro.realworld.field_test import FieldTestConfig, run_field_scenario
 from repro.world.scenario import Scenario
@@ -149,6 +150,9 @@ class CampaignJob:
     mission: MissionConfig
     platform: str | Callable[[], ExecutionPlatform] = "desktop"
     needs_network: bool = True
+    #: Fault specs to inject into this run (see :mod:`repro.faults`); plain
+    #: frozen dataclasses, so jobs stay picklable for ``.parallel()``.
+    faults: tuple[FaultSpec, ...] = ()
 
 
 _worker_network = None
@@ -167,6 +171,17 @@ def _execute_job(job: CampaignJob) -> RunRecord:
     from repro.core.registry import ComponentError
 
     network = _shared_network() if job.needs_network else None
+    harness = None
+    if job.faults:
+        # Built per run from content hashes only, so every execution mode
+        # (serial / parallel / dispatched shard) injects identically.
+        from repro.faults.harness import FaultHarness
+
+        harness = FaultHarness(
+            job.faults,
+            scenario_fingerprint=job.scenario.fingerprint(),
+            repetition=job.repetition,
+        )
     try:
         runner = MissionRunner(
             job.scenario,
@@ -174,6 +189,7 @@ def _execute_job(job: CampaignJob) -> RunRecord:
             mission_config=job.mission,
             platform=_resolve_platform_factory(job.platform)(),
             detector_network=network,
+            fault_harness=harness,
         )
     except ComponentError as error:
         raise ComponentError(
@@ -186,10 +202,10 @@ def _execute_job(job: CampaignJob) -> RunRecord:
     return record
 
 
-def _sha16(payload: Any) -> str:
-    """16-hex-char content hash of a JSON-compatible payload."""
-    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()[:16]
+#: Shared content-hash helper (see :func:`repro.jsonl.sha16_of_json`); the
+#: old private name is kept because the dispatch planner historically
+#: imported it from here.
+_sha16 = sha16_of_json
 
 
 def campaign_result_filename(system_name: str) -> str:
@@ -202,18 +218,25 @@ def campaign_result_filename(system_name: str) -> str:
 
 
 def campaign_context_fingerprint(
-    mission: MissionConfig, platform: str | Callable[[], ExecutionPlatform]
+    mission: MissionConfig,
+    platform: str | Callable[[], ExecutionPlatform],
+    faults: Sequence[FaultSpec] = (),
 ) -> str:
-    """Identity of a run *context* (mission config + platform).
+    """Identity of a run *context* (mission config + platform + faults).
 
     Stored in result headers so resuming — or merging shards — against
-    results flown with different mission timings or on another platform is
-    refused instead of silently reported.
+    results flown with different mission timings, on another platform or
+    under a different fault plan is refused instead of silently reported.
+    The ``faults`` key is only included when faults are declared, so
+    fingerprints of fault-free campaigns are unchanged from earlier
+    versions (existing persisted results stay resumable).
     """
-    payload = {
+    payload: dict[str, Any] = {
         "mission": dataclasses_asdict(mission),
         "platform": platform if isinstance(platform, str) else "<callable>",
     }
+    if faults:
+        payload["faults"] = [spec.to_dict() for spec in faults]
     return _sha16(payload)
 
 
@@ -247,6 +270,7 @@ class Campaign:
         if system_configs:
             self.systems(*system_configs)
         self._suite: ScenarioSuite | SuiteSpec | str | None = None
+        self._faults: tuple[FaultSpec, ...] | None = None
         self._scenario_count: int | None = None
         self._repetitions: int | None = None
         self._mission: MissionConfig = MissionConfig()
@@ -302,6 +326,33 @@ class Campaign:
                 f"suite() accepts ScenarioSuite / SuiteSpec / preset name, "
                 f"got {type(suite).__name__}"
             )
+        return self
+
+    def faults(self, *sources: Any) -> "Campaign":
+        """Inject faults into every run of the campaign (the fault axis).
+
+        Accepts :class:`~repro.faults.FaultSpec` objects, fault-preset names
+        (``"sensor"``, ``"perception"``, ``"full"``, ...), fault-plan JSON
+        paths, or iterables mixing them::
+
+            results = (
+                Campaign(mls_v3())
+                .suite("stress")
+                .faults("perception", FaultSpec(target="vehicle", mode="ekf-reset"))
+                .parallel(4)
+                .run()
+            )
+
+        Calling ``.faults()`` with no arguments clears the fault axis —
+        including faults inherited from a :class:`SuiteSpec` passed to
+        :meth:`suite`.  Injection is deterministic per (scenario,
+        repetition, spec): serial, parallel and dispatched executions
+        produce byte-identical persisted records.
+        """
+        specs: list[FaultSpec] = []
+        for source in sources:
+            specs.extend(resolve_faults(source))
+        self._faults = ensure_unique_names(specs)
         return self
 
     def out(self, directory: str | Path | None) -> "Campaign":
@@ -380,6 +431,7 @@ class Campaign:
             systems = self._resolved_systems()
         suite = self._resolved_suite()
         repetitions = self._repetitions if self._repetitions is not None else suite.repetitions
+        faults = self._resolved_faults()
         jobs: list[CampaignJob] = []
         index = 0
         for system in systems:
@@ -397,6 +449,7 @@ class Campaign:
                             mission=replace(self._mission, camera_seed=repetition),
                             platform=self._platform,
                             needs_network=needs_network,
+                            faults=faults,
                         )
                     )
                     index += 1
@@ -528,13 +581,18 @@ class Campaign:
         # Resolve (for specs/presets: generate) the suite once so run() and
         # the scenario join below share one object instead of generating the
         # suite twice; the original suite setting is restored afterwards so
-        # suite()'s "a later .seed() still applies" contract holds.
+        # suite()'s "a later .seed() still applies" contract holds.  The
+        # fault axis is pinned first: replacing a SuiteSpec with its
+        # generated suite must not drop the spec's declared faults.
         previous_suite = self._suite
+        previous_faults = self._faults
+        self._faults = self._resolved_faults()
         self._suite = suite = self._resolved_suite()
         try:
             results = self.run()
         finally:
             self._suite = previous_suite
+            self._faults = previous_faults
         return CampaignAnalysis(
             results,
             suites=[suite],
@@ -592,6 +650,7 @@ class Campaign:
             repetitions=repetitions,
             mission=self._mission,
             platform=self._platform,
+            faults=self._resolved_faults(),
         )
         run_local_workers(
             directory,
@@ -615,7 +674,9 @@ class Campaign:
         ``RunRecord.scenario_fingerprint``), so growing a suite or its
         repetition count still resumes.
         """
-        return campaign_context_fingerprint(self._mission, self._platform)
+        return campaign_context_fingerprint(
+            self._mission, self._platform, self._resolved_faults()
+        )
 
     def _load_persisted(
         self, systems: Sequence[LandingSystemConfig], context: str
@@ -641,8 +702,15 @@ class Campaign:
                     f"(mission config or platform changed); use a fresh out "
                     f"directory or delete the stale results"
                 )
-            if torn:
-                # Heal the file so future appends don't bury the torn line.
+            stale_schema = int(header.get("schema", 1)) < RESULT_SCHEMA_VERSION
+            if torn or stale_schema:
+                # Heal the file: drop a buried torn line, and upgrade an
+                # older-schema header before current-schema records are
+                # appended under it (readers gate on the header, so a
+                # schema-1 header over schema-2 records would defeat the
+                # "upgrade to read it" error for older readers).
+                if stale_schema:
+                    header = {**header, "schema": RESULT_SCHEMA_VERSION}
                 write_campaign_jsonl(path, header, records)
             restored[config.name] = {
                 (record.scenario_id, record.repetition): record for record in records
@@ -683,6 +751,15 @@ class Campaign:
     # ------------------------------------------------------------------ #
     def _resolved_systems(self) -> list[LandingSystemConfig]:
         return list(self._systems) if self._systems else [mls_v1(), mls_v2(), mls_v3()]
+
+    def _resolved_faults(self) -> tuple[FaultSpec, ...]:
+        """The campaign's fault axis: explicit ``.faults()`` wins, then the
+        fault axis declared on a :class:`SuiteSpec` passed to ``suite()``."""
+        if self._faults is not None:
+            return self._faults
+        if isinstance(self._suite, SuiteSpec):
+            return tuple(self._suite.faults)
+        return ()
 
     def _resolved_suite(self) -> ScenarioSuite:
         if isinstance(self._suite, ScenarioSuite):

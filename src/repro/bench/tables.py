@@ -50,6 +50,25 @@ def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object
     return "\n".join(lines)
 
 
+def render_outcome_rates(results: Mapping[str, CampaignResult]) -> str:
+    """The CLI results table: per-system run counts and outcome rates.
+
+    Shared by every campaign-running CLI (``repro.scenarios run``,
+    ``repro.dispatch``, ``repro.faults run``) so the columns cannot drift.
+    """
+    rows = [
+        [
+            name,
+            len(result),
+            f"{100.0 * result.success_rate:.1f}%",
+            f"{100.0 * result.collision_failure_rate:.1f}%",
+            f"{100.0 * result.poor_landing_failure_rate:.1f}%",
+        ]
+        for name, result in results.items()
+    ]
+    return format_table(["System", "Runs", "Success", "Collision", "Poor landing"], rows)
+
+
 def render_landing_table(
     results: Mapping[str, CampaignResult],
     paper: Mapping[str, Mapping[str, float]] | None = None,

@@ -16,7 +16,7 @@ behaviour, not from scripted outcomes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.commands import Command
 from repro.core.config import (
@@ -40,7 +40,6 @@ from repro.mapping.octomap import OcTree
 from repro.mapping.voxel_grid import VoxelGrid
 from repro.perception.detection import Detection, DetectionFrame
 from repro.perception.validation import ValidationGate, ValidationResult
-from repro.planning.ego_planner import EgoLocalPlanner
 from repro.planning.spiral import spiral_search_waypoints
 from repro.planning.trajectory import Trajectory, TrajectoryFollower, shortcut_smooth
 from repro.planning.types import PlanningProblem
@@ -488,7 +487,9 @@ class LandingSystem:
             self._trajectory_goal = None
             return
 
-        if isinstance(self.planner, EgoLocalPlanner) and self.planner.last_fallback_used:
+        # Duck-typed so wrapped planners (fault injectors, custom components)
+        # still report their fallback use.
+        if getattr(self.planner, "last_fallback_used", False):
             self.planner_fallbacks += 1
 
         waypoints = result.waypoints

@@ -21,8 +21,12 @@ from typing import Any, Callable
 
 from repro.jsonl import iter_frame_records, read_frame_header, validate_frame_header
 
-#: Schema version stamped into campaign-result JSONL headers.
-RESULT_SCHEMA_VERSION = 1
+#: Schema version stamped into campaign-result JSONL headers.  Version 2
+#: added the failsafe fields (``failsafe_action`` / ``failsafe_reason``), the
+#: ``failure_mode`` classification and the ``injected_faults`` metadata;
+#: readers accept any version up to this one, and records from older files
+#: simply leave the new fields at their defaults.
+RESULT_SCHEMA_VERSION = 2
 
 
 class RunOutcome(enum.Enum):
@@ -133,6 +137,17 @@ class RunRecord:
     aborts: int = 0
     adverse_weather: bool = False
     failure_reason: str = ""
+    #: The failsafe the system executed (``FailsafeAction.value``), or ``""``
+    #: when the run never entered the failsafe state.
+    failsafe_action: str = ""
+    #: The reason recorded on the transition into the failsafe state.
+    failsafe_reason: str = ""
+    #: Failure-mode taxonomy label (see :mod:`repro.faults.classifier`);
+    #: stamped by fault-aware mission runs, derivable on the fly otherwise.
+    failure_mode: str = ""
+    #: Per-spec injected-fault metadata (name/target/mode, arming, activation
+    #: window, event count) stamped by :class:`repro.faults.FaultHarness`.
+    injected_faults: list[dict] = field(default_factory=list)
     repetition: int = 0
     #: Content hash of the scenario this run flew (set by the campaign
     #: persistence layer); guards resumed campaigns against scenario-id
@@ -177,6 +192,9 @@ RECORD_FACTORS: dict[str, Callable[[RunRecord], tuple[str, ...]]] = {
     "weather": lambda record: ("adverse" if record.adverse_weather else "normal",),
     "scenario": lambda record: (record.scenario_id,),
     "repetition": lambda record: (f"rep{record.repetition}",),
+    "failure-cause": lambda record: (
+        record.failsafe_reason or record.failure_reason or "(none)",
+    ),
 }
 
 
@@ -237,6 +255,21 @@ class CampaignResult:
     @property
     def mean_landing_error(self) -> float:
         errors = [r.landing_error for r in self.records if r.landed and r.landing_error == r.landing_error]
+        return statistics.fmean(errors) if errors else float("nan")
+
+    @property
+    def success_mean_landing_error(self) -> float:
+        """Mean landing error over *successful* landings only.
+
+        §V.C's accuracy quantity: :attr:`mean_landing_error` also averages
+        poor landings that touched down metres away (e.g. on a decoy), whose
+        outliers swamp the centimetre-scale signal at small campaign sizes.
+        """
+        errors = [
+            r.landing_error
+            for r in self.records
+            if r.succeeded and r.landing_error == r.landing_error
+        ]
         return statistics.fmean(errors) if errors else float("nan")
 
     @property

@@ -10,6 +10,7 @@ detection and resource statistics the other tables need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.commands import Command, CommandKind
 from repro.core.config import LandingSystemConfig
@@ -23,6 +24,9 @@ from repro.sensors.depth import DepthCamera
 from repro.vehicle.autopilot import Autopilot, AutopilotConfig, FlightMode
 from repro.world.scenario import Scenario
 from repro.world.world import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.harness import FaultHarness
 
 
 @dataclass
@@ -62,6 +66,7 @@ class MissionRunner:
         autopilot_config: AutopilotConfig | None = None,
         world: World | None = None,
         record_trace: bool = False,
+        fault_harness: "FaultHarness | None" = None,
     ) -> None:
         self.scenario = scenario
         self.system_config = system_config
@@ -70,6 +75,7 @@ class MissionRunner:
         self.world = world or scenario.build_world()
         self.record_trace = record_trace
         self.trace = MissionDebugTrace()
+        self.fault_harness = fault_harness
 
         autopilot_config = autopilot_config or AutopilotConfig()
         autopilot_config.takeoff_altitude = system_config.cruise_altitude
@@ -91,6 +97,11 @@ class MissionRunner:
             seed=scenario.seed,
             detector_network=detector_network,
         )
+        if fault_harness is not None:
+            # Injectors wrap the registry-built components at the interfaces
+            # the registry declares; the harness sees sensor products and the
+            # estimate only — the same boundary discipline as the system.
+            fault_harness.attach(self.system)
 
     def _target_marker_id(self) -> int:
         marker = self.world.target_marker
@@ -141,31 +152,57 @@ class MissionRunner:
             if self.autopilot.is_landed:
                 break
 
+            harness = self.fault_harness
+
             # Depth sensing and mapping at its own (lower) rate.
             if time_now >= next_depth and not budget.skip_mapping:
                 next_depth = time_now + mission.depth_period
                 estimate = self.autopilot.estimated_state
+                if harness is not None:
+                    estimate = harness.filter_estimate(estimate, time_now)
                 cloud = self.depth_forward.capture(
                     self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
                 )
                 cloud_down = self.depth_down.capture(
                     self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
                 )
-                self.system.process_cloud(cloud.merged_with(cloud_down), estimate)
+                merged = cloud.merged_with(cloud_down)
+                if harness is not None:
+                    merged = harness.filter_cloud(merged, time_now)
+                if merged is not None:
+                    self.system.process_cloud(merged, estimate)
+                else:
+                    # Cloud lost to a sensor fault: no fusion, no cost.
+                    self.system.last_timings.mapping = 0.0
+                if harness is not None:
+                    harness.corrupt_mapping(self.system, estimate, time_now)
 
             # Perception + decision at the decision rate.
             if time_now >= next_decision:
                 next_decision = time_now + mission.decision_period
                 estimate = self.autopilot.estimated_state
+                if harness is not None:
+                    estimate = harness.filter_estimate(estimate, time_now)
                 frame = self.camera.capture(
                     self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
                 )
-                result = self.system.process_frame(frame)
-                self._score_detections(frame, result, detection_stats)
+                if harness is not None:
+                    frame = harness.filter_frame(frame, time_now)
+                if frame is not None:
+                    result = self.system.process_frame(frame)
+                    self._score_detections(frame, result, detection_stats)
+                else:
+                    # Frame lost to a sensor fault: no detection ran this
+                    # tick, so no detection cost either (process_frame is
+                    # what normally refreshes the timing each tick).
+                    self.system.last_timings.detection = 0.0
 
                 command = self.system.decide(
                     estimate, time_now, allow_replan=budget.allow_replan
                 )
+                if harness is not None:
+                    command = harness.filter_command(command, time_now)
+                    harness.adjust_timings(self.system.last_timings, time_now)
                 self._apply_command(command)
 
                 budget = self.platform.schedule_tick(
@@ -270,7 +307,13 @@ class MissionRunner:
             else:
                 reason = "landed away from the marker"
 
-        return RunRecord(
+        failsafe_reason = ""
+        for transition in self.system.transitions:
+            if transition.to_state is DecisionState.FAILSAFE:
+                failsafe_reason = transition.reason
+                break
+
+        record = RunRecord(
             scenario_id=self.scenario.scenario_id,
             system_name=self.system_config.name,
             outcome=outcome,
@@ -286,7 +329,23 @@ class MissionRunner:
             aborts=self.system.aborts,
             adverse_weather=self.scenario.is_adverse_weather,
             failure_reason=reason,
+            failsafe_action=(
+                self.system.failsafe_action.value
+                if self.system.failsafe_action is not None
+                else ""
+            ),
+            failsafe_reason=failsafe_reason,
         )
+        if self.fault_harness is not None:
+            # Stamps injected-fault metadata and the failure-mode label.
+            self.fault_harness.finalize(record)
+        else:
+            # Deferred import: the taxonomy lives with the fault subsystem,
+            # which imports this module's config types.
+            from repro.faults.classifier import classify_record
+
+            record.failure_mode = classify_record(record).value
+        return record
 
 
 def run_scenario(

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.dispatch.merge import load_merged, merge_dispatch
-from repro.dispatch.planner import load_plan, merged_dir, plan_dispatch
+from repro.dispatch.planner import merged_dir, plan_dispatch
 from repro.dispatch.queue import DEFAULT_LEASE_SECONDS, ShardQueue
 from repro.dispatch.worker import (
     DEFAULT_POLL_SECONDS,
@@ -41,23 +41,26 @@ from repro.dispatch.worker import (
 
 
 def _build_suite(args: argparse.Namespace):
+    """Resolve the planned suite plus any fault axis it declares."""
     import json
 
     from repro.world.scenario_gen import SuiteSpec, generate_suite
     from repro.world.scenario_suite import ScenarioSuite
 
     if args.suite:
-        return ScenarioSuite.from_jsonl(args.suite)
+        return ScenarioSuite.from_jsonl(args.suite), ()
     if args.spec:
         spec = SuiteSpec.from_dict(
             json.loads(Path(args.spec).read_text(encoding="utf-8"))
         )
-        return generate_suite(
+        suite = generate_suite(
             spec, count=args.count, seed=args.seed, repetitions=args.repetitions
         )
-    return generate_suite(
+        return suite, tuple(spec.faults)
+    suite = generate_suite(
         args.preset, count=args.count, seed=args.seed, repetitions=args.repetitions
     )
+    return suite, ()
 
 
 def _systems(arg: str):
@@ -96,10 +99,19 @@ def _add_plan_args(parser: argparse.ArgumentParser) -> None:
         "--platform", default="desktop", choices=sorted(PLATFORM_FACTORIES),
         help="execution platform key (default: desktop)",
     )
+    parser.add_argument(
+        "--faults", default=None,
+        help="fault axis: a preset name or fault-plan JSON file "
+        "(see python -m repro.faults list); overrides any --spec fault axis",
+    )
 
 
 def _plan(args: argparse.Namespace, directory: Path):
-    suite = _build_suite(args)
+    from repro.faults.spec import resolve_faults
+
+    suite, faults = _build_suite(args)
+    if args.faults is not None:
+        faults = resolve_faults(args.faults)
     return plan_dispatch(
         directory,
         suite,
@@ -107,6 +119,7 @@ def _plan(args: argparse.Namespace, directory: Path):
         shards=args.shards,
         repetitions=args.repetitions,
         platform=args.platform,
+        faults=faults,
     )
 
 
@@ -117,6 +130,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         f"{plan.repetitions} repetition(s) x {len(plan.systems)} system(s) "
         f"= {plan.total_runs} runs over {len(plan.shards)} shard(s)"
     )
+    if plan.faults:
+        print(
+            f"fault axis: {len(plan.faults)} spec(s): "
+            + ", ".join(spec.name for spec in plan.faults)
+        )
     for shard in plan.shards:
         print(
             f"  {shard.name}: scenarios [{shard.start}, {shard.stop}) "
@@ -180,20 +198,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _print_results(directory: Path) -> None:
-    from repro.bench.tables import format_table
+    from repro.bench.tables import render_outcome_rates
 
-    results = load_merged(directory)
-    rows = [
-        [
-            name,
-            len(result),
-            f"{100.0 * result.success_rate:.1f}%",
-            f"{100.0 * result.collision_failure_rate:.1f}%",
-            f"{100.0 * result.poor_landing_failure_rate:.1f}%",
-        ]
-        for name, result in results.items()
-    ]
-    print(format_table(["System", "Runs", "Success", "Collision", "Poor landing"], rows))
+    print(render_outcome_rates(load_merged(directory)))
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:

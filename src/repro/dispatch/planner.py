@@ -36,15 +36,19 @@ from typing import Any, Sequence
 
 from repro.bench.campaign import (
     PLATFORM_FACTORIES,
-    _sha16,
     campaign_context_fingerprint,
 )
 from repro.core.config import LandingSystemConfig
 from repro.core.mission import MissionConfig
+from repro.faults.spec import FaultSpec
+from repro.jsonl import sha16_of_json as _sha16
 from repro.world.scenario_suite import ScenarioSuite
 
-#: Schema version stamped into plan.json / manifest.json.
-PLAN_SCHEMA_VERSION = 1
+#: Schema version stamped into plan.json / manifest.json.  Version 2 added
+#: the optional ``faults`` list (the campaign's fault-injection axis);
+#: fault-free plans keep identical fingerprints across versions, so
+#: existing dispatch directories remain resumable.
+PLAN_SCHEMA_VERSION = 2
 
 #: Filenames under the dispatch directory.
 PLAN_FILENAME = "plan.json"
@@ -100,22 +104,28 @@ class DispatchPlan:
     suite_count: int
     suite_fingerprint: str
     shards: list[ShardSpec] = field(default_factory=list)
+    faults: list[FaultSpec] = field(default_factory=list)
     fingerprint: str = ""
 
     @property
     def context(self) -> str:
         """The campaign context fingerprint shard result headers must carry."""
-        return campaign_context_fingerprint(self.mission, self.platform)
+        return campaign_context_fingerprint(self.mission, self.platform, self.faults)
 
     def identity(self) -> dict[str, Any]:
         """The fingerprint-relevant content (shared by plan and shard hashes)."""
-        return {
+        identity: dict[str, Any] = {
             "suite_fingerprint": self.suite_fingerprint,
             "systems": [system.to_dict() for system in self.systems],
             "repetitions": self.repetitions,
             "mission": dataclasses_asdict(self.mission),
             "platform": self.platform,
         }
+        # Included only when declared: fault-free plan fingerprints must not
+        # change across versions (idempotent re-planning into old dirs).
+        if self.faults:
+            identity["faults"] = [spec.to_dict() for spec in self.faults]
+        return identity
 
     def compute_fingerprint(self) -> str:
         """The fingerprint this plan's contents *should* carry.
@@ -136,7 +146,9 @@ class DispatchPlan:
     def to_dict(self) -> dict[str, Any]:
         data = {
             "kind": "dispatch-plan",
-            "schema": PLAN_SCHEMA_VERSION,
+            # A fault-free plan still declares schema 1, so pre-fault readers
+            # keep accepting it; only plans that *need* the faults key claim 2.
+            "schema": PLAN_SCHEMA_VERSION if self.faults else 1,
             "name": self.name,
             "systems": [system.to_dict() for system in self.systems],
             "repetitions": self.repetitions,
@@ -148,6 +160,8 @@ class DispatchPlan:
             "suite_fingerprint": self.suite_fingerprint,
             "shards": [shard.to_dict() for shard in self.shards],
         }
+        if self.faults:
+            data["faults"] = [spec.to_dict() for spec in self.faults]
         data["fingerprint"] = self.fingerprint
         return data
 
@@ -170,6 +184,7 @@ class DispatchPlan:
             suite_count=int(data["suite_count"]),
             suite_fingerprint=str(data["suite_fingerprint"]),
             shards=[ShardSpec.from_dict(d) for d in data["shards"]],
+            faults=[FaultSpec.from_dict(d) for d in data.get("faults", [])],
             fingerprint=str(data.get("fingerprint", "")),
         )
 
@@ -220,6 +235,7 @@ def _build_plan(
     repetitions: int,
     mission: MissionConfig,
     platform: str,
+    faults: Sequence[FaultSpec] = (),
 ) -> DispatchPlan:
     scenario_fingerprints = [scenario.fingerprint() for scenario in suite]
     plan = DispatchPlan(
@@ -230,6 +246,7 @@ def _build_plan(
         platform=platform,
         suite_count=len(suite),
         suite_fingerprint=_sha16(scenario_fingerprints),
+        faults=list(faults),
     )
     base_identity = plan.identity()
     scenario_ids = [scenario.scenario_id for scenario in suite]
@@ -282,6 +299,7 @@ def plan_dispatch(
     repetitions: int | None = None,
     mission: MissionConfig | None = None,
     platform: str = "desktop",
+    faults: Sequence[FaultSpec] = (),
 ) -> DispatchPlan:
     """Plan (or re-join) a sharded campaign under ``directory``.
 
@@ -314,7 +332,8 @@ def plan_dispatch(
 
     directory = Path(directory)
     plan = _build_plan(
-        suite, systems, shards, repetitions, mission or MissionConfig(), platform
+        suite, systems, shards, repetitions, mission or MissionConfig(), platform,
+        faults=faults,
     )
     existing_path = plan_path(directory)
     if existing_path.exists():
@@ -334,7 +353,9 @@ def plan_dispatch(
             shard_dir(directory, shard) / "manifest.json",
             {
                 "kind": "shard-manifest",
-                "schema": PLAN_SCHEMA_VERSION,
+                # Same claim as plan.json: a fault-free dispatch stays
+                # readable by pre-fault schema gates end to end.
+                "schema": PLAN_SCHEMA_VERSION if plan.faults else 1,
                 "plan": plan.fingerprint,
                 **shard.to_dict(),
             },

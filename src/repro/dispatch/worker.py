@@ -103,6 +103,7 @@ def _shard_campaign(
         .repetitions(plan.repetitions)
         .mission(plan.mission)
         .platform(plan.platform)
+        .faults(*plan.faults)
         .out(results_dir)
     )
     if progress is not None:

@@ -1,0 +1,102 @@
+"""Deterministic fault injection and failure-mode analysis.
+
+The fault axis multiplies the scenario space: every campaign the repo can
+already run — serial, ``.parallel()``, sharded ``dispatch`` — can also run
+with component-level faults injected at the sensor→system and
+system→autopilot boundaries, and every persisted record then carries what
+was injected and how the run classified.
+
+Quickstart::
+
+    from repro import Campaign, FaultSpec, mls_v3
+
+    results = (
+        Campaign(mls_v3())
+        .suite("smoke")
+        .faults("sensor", FaultSpec(target="planning", mode="timeout"))
+        .run()
+    )
+
+    from repro.faults import accumulate_coverage, render_coverage_report
+    report = render_coverage_report(
+        accumulate_coverage(r for c in results.values() for r in c.records)
+    )
+
+CLI: ``python -m repro.faults`` (``list`` / ``describe`` / ``run`` /
+``coverage``).
+"""
+
+from repro.faults.classifier import (
+    FAILURE_MODE_ORDER,
+    FailureClassifier,
+    FailureMode,
+    classify_record,
+    failure_mode_label,
+)
+from repro.faults.spec import (
+    FAULT_MODES,
+    FAULT_PRESETS,
+    FaultSpec,
+    dump_fault_plan,
+    fault_rng,
+    fault_run_seed,
+    faults_fingerprint,
+    load_fault_plan,
+    resolve_faults,
+)
+
+#: Names served lazily (PEP 562): the harness and coverage modules import
+#: the perception/planning/bench stacks, which themselves import
+#: ``repro.world`` → :mod:`repro.faults.spec` — eager imports here would
+#: close that cycle.  Specs and the classifier stay eager (they only need
+#: numpy and ``repro.core.metrics``).
+_LAZY_EXPORTS = {
+    "FaultHarness": ("repro.faults.harness", "FaultHarness"),
+    "FaultyDetector": ("repro.faults.harness", "FaultyDetector"),
+    "FaultyPlanner": ("repro.faults.harness", "FaultyPlanner"),
+    "CoverageReport": ("repro.faults.coverage", "CoverageReport"),
+    "FaultCoverage": ("repro.faults.coverage", "FaultCoverage"),
+    "accumulate_coverage": ("repro.faults.coverage", "accumulate_coverage"),
+    "render_coverage_report": ("repro.faults.coverage", "render_coverage_report"),
+    "render_coverage_section": ("repro.faults.coverage", "render_coverage_section"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+__all__ = [
+    "FAILURE_MODE_ORDER",
+    "FAULT_MODES",
+    "FAULT_PRESETS",
+    "CoverageReport",
+    "FailureClassifier",
+    "FailureMode",
+    "FaultCoverage",
+    "FaultHarness",
+    "FaultSpec",
+    "FaultyDetector",
+    "FaultyPlanner",
+    "accumulate_coverage",
+    "classify_record",
+    "dump_fault_plan",
+    "failure_mode_label",
+    "fault_rng",
+    "fault_run_seed",
+    "faults_fingerprint",
+    "load_fault_plan",
+    "render_coverage_report",
+    "render_coverage_section",
+    "resolve_faults",
+]

@@ -1,0 +1,240 @@
+"""Fault-injection CLI: ``python -m repro.faults``.
+
+Subcommands:
+
+* ``list`` — the failure-mode taxonomy (targets, modes) and fault presets.
+* ``describe`` — inspect a fault preset or fault-plan JSON file.
+* ``run`` — run a fault-injection campaign over a scenario suite, serially,
+  in parallel, or as a sharded dispatch (``--dispatch``); persists per-run
+  JSONL (resumable) and can render the coverage report in one go.
+* ``coverage`` — render the fault-coverage report (per-fault detection /
+  absorption accounting plus the failure-mode breakdown) from persisted
+  campaign results.
+
+Examples::
+
+    python -m repro.faults list
+    python -m repro.faults describe --faults sensor
+    python -m repro.faults run --preset smoke --seed 7 --faults smoke \\
+        --systems mls-v1 --out fault-results/
+    python -m repro.faults run --preset smoke --seed 7 --faults smoke \\
+        --systems mls-v1 --dispatch fault-queue/ --shards 2 --workers 2
+    python -m repro.faults coverage fault-results/ --out coverage.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.faults.coverage import accumulate_coverage, render_coverage_report
+from repro.faults.spec import (
+    FAULT_MODES,
+    FAULT_PRESETS,
+    MODE_DESCRIPTIONS,
+    TARGET_DESCRIPTIONS,
+    FaultSpec,
+    resolve_faults,
+)
+
+
+def _spec_rows(specs: Sequence[FaultSpec]) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for spec in specs:
+        window = "drawn" if spec.start is None else f"{spec.start:g}s"
+        if spec.duration is not None:
+            window += f" +{spec.duration:g}s"
+        else:
+            window += " +rest"
+        if spec.below_altitude is not None:
+            window += f" below {spec.below_altitude:g}m"
+        rows.append(
+            [
+                spec.name,
+                spec.target,
+                spec.mode,
+                f"{spec.severity:g}",
+                window,
+                f"{spec.probability:g}",
+            ]
+        )
+    return rows
+
+
+def _print_specs(specs: Sequence[FaultSpec]) -> None:
+    from repro.bench.tables import format_table
+
+    print(
+        format_table(
+            ["Fault", "Target", "Mode", "Severity", "Window", "P(arm)"],
+            _spec_rows(specs),
+        )
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("fault taxonomy (target -> modes):")
+    for target in sorted(FAULT_MODES):
+        print(f"  {target:<12} {TARGET_DESCRIPTIONS.get(target, '')}")
+        for mode in FAULT_MODES[target]:
+            description = MODE_DESCRIPTIONS.get((target, mode), "")
+            print(f"    {mode:<18} {description}")
+    print("\nfault presets (use with --faults or Campaign.faults(...)):")
+    for name, specs in sorted(FAULT_PRESETS.items()):
+        targets = sorted({spec.target for spec in specs})
+        print(f"  {name:<12} {len(specs)} spec(s); targets: {', '.join(targets)}")
+    print(
+        "\nfailure-mode taxonomy: nominal / degraded-success / safe-failsafe "
+        "/ unsafe-landing / crash"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    specs = resolve_faults(args.faults)
+    print(f"fault plan {args.faults!r}: {len(specs)} spec(s)")
+    _print_specs(specs)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Deferred imports: the campaign module pulls in the whole system stack.
+    from repro.bench.campaign import Campaign
+    from repro.bench.tables import render_outcome_rates
+    from repro.scenarios import resolve_suite_args
+
+    specs = resolve_faults(args.faults)
+    suite = resolve_suite_args(args)
+    campaign = Campaign(
+        *[name.strip() for name in args.systems.split(",") if name.strip()]
+    )
+    campaign.suite(suite).faults(*specs)
+    if args.repetitions is not None:
+        campaign.repetitions(args.repetitions)
+    if args.verbose:
+        campaign.progress(print)
+
+    if args.dispatch:
+        results = campaign.dispatch(
+            args.dispatch, shards=args.shards, workers=args.workers
+        )
+    else:
+        if args.workers > 1:
+            campaign.parallel(args.workers)
+        if args.out:
+            campaign.out(args.out)
+        results = campaign.run()
+
+    print(render_outcome_rates(results))
+
+    coverage = accumulate_coverage(
+        record for result in results.values() for record in result.records
+    )
+    print()
+    print(render_coverage_report(coverage))
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_coverage_report(coverage), encoding="utf-8")
+        print(f"coverage report written to {path}")
+    if args.out and not args.dispatch:
+        print(f"per-run JSONL results under {args.out} (re-run to resume)")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.analysis.io import iter_records
+
+    report = accumulate_coverage(iter_records([Path(p) for p in args.results]))
+    rendered = render_coverage_report(report)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        print(f"coverage report written to {path}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic fault-injection campaigns and coverage reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the fault taxonomy and fault presets")
+
+    describe = sub.add_parser("describe", help="inspect a fault preset or plan file")
+    describe.add_argument(
+        "--faults", default="full",
+        help="fault preset name or fault-plan JSON file (default: full)",
+    )
+
+    run = sub.add_parser("run", help="run a fault-injection campaign")
+    from repro.world.scenario_gen import PRESET_NAMES
+
+    run.add_argument(
+        "--preset", default="smoke", choices=sorted(PRESET_NAMES),
+        help="scenario-suite preset to fly (default: smoke)",
+    )
+    run.add_argument("--suite", default=None, help="fly a suite JSONL file instead")
+    run.add_argument("--seed", type=int, default=None, help="suite master seed")
+    run.add_argument("--count", type=int, default=None, help="number of scenarios")
+    run.add_argument(
+        "--repetitions", type=int, default=None, help="repetitions per scenario"
+    )
+    run.add_argument(
+        "--faults", default="smoke",
+        help="fault preset name or fault-plan JSON file (default: smoke)",
+    )
+    run.add_argument(
+        "--systems", default="mls-v3",
+        help="comma-separated system presets (default: mls-v3)",
+    )
+    run.add_argument("--workers", type=int, default=1, help="worker processes")
+    run.add_argument("--out", default=None, help="directory for per-run JSONL results")
+    run.add_argument(
+        "--dispatch", default=None,
+        help="run as a sharded dispatch under this directory instead of --out",
+    )
+    run.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count for --dispatch (default: 2)",
+    )
+    run.add_argument(
+        "--report", default=None, help="write the coverage report markdown here"
+    )
+    run.add_argument("--verbose", action="store_true", help="print one line per run")
+
+    coverage = sub.add_parser(
+        "coverage", help="render the fault-coverage report from persisted results"
+    )
+    coverage.add_argument(
+        "results", nargs="+",
+        help="campaign-result JSONL files, result directories or dispatch dirs",
+    )
+    coverage.add_argument("--out", default=None, help="write the report here")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_coverage(args)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,12 +12,25 @@ both :mod:`repro.core.metrics` and :mod:`repro.world.scenario_suite`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import warnings
 from pathlib import Path
 from typing import Any, Callable, Iterator, TypeVar
 
 T = TypeVar("T")
+
+
+def sha16_of_json(payload: Any) -> str:
+    """16-hex-char sha256 of a payload's canonical JSON encoding.
+
+    The one content-hash helper behind every fingerprint in the repo —
+    campaign contexts, dispatch plans/shards, fault specs — so the canonical
+    encoding (sorted keys, compact separators) can never drift between the
+    subsystems that cross-check each other's hashes.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
 
 
 def validate_frame_header(

@@ -37,6 +37,14 @@ class RrtStarConfig:
     sample_margin: float = 8.0
     collision_check_step: float = 0.5
     seed: int = 0
+    #: Declared desktop-class cost of one RRT* iteration, seconds.  The
+    #: planning time budget is converted through it into a *deterministic*
+    #: iteration budget, the same way the HIL resource model treats module
+    #: latencies declaratively: breaking on measured wall clock made the
+    #: sampled tree — and with it whole MLS-V3 missions — depend on host
+    #: load, which silently broke the campaign/dispatch byte-identity
+    #: contract for any system using this planner.
+    nominal_iteration_cost: float = 0.0002
 
 
 class RrtStarPlanner:
@@ -68,10 +76,17 @@ class RrtStarPlanner:
         best_goal_cost = float("inf")
         iterations = 0
 
-        for iteration in range(cfg.max_iterations):
+        # Deterministic budget: wall clock is only ever *reported* (in
+        # ``planning_time``), never consulted mid-search.
+        budget_iterations = cfg.max_iterations
+        if problem.time_budget > 0 and cfg.nominal_iteration_cost > 0:
+            budget_iterations = min(
+                cfg.max_iterations,
+                max(1, int(problem.time_budget / cfg.nominal_iteration_cost)),
+            )
+
+        for iteration in range(budget_iterations):
             iterations = iteration + 1
-            if time.perf_counter() - started > problem.time_budget:
-                break
 
             sample = self._sample(problem)
             nearest_index = self._nearest(nodes, sample)

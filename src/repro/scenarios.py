@@ -51,12 +51,22 @@ def _suite_summary(suite: ScenarioSuite) -> str:
     return "\n".join(lines)
 
 
-def _build_suite(args: argparse.Namespace) -> ScenarioSuite:
+def resolve_suite_args(args: argparse.Namespace) -> ScenarioSuite:
+    """Build the suite a CLI invocation asked for: ``--suite`` file or preset.
+
+    Shared by every campaign-running CLI that exposes the standard
+    ``--suite`` / ``--preset`` / ``--count`` / ``--seed`` / ``--repetitions``
+    arguments (``repro.scenarios`` and ``repro.faults``).
+    """
     if getattr(args, "suite", None):
         return ScenarioSuite.from_jsonl(args.suite)
     return generate_suite(
         args.preset, count=args.count, seed=args.seed, repetitions=args.repetitions
     )
+
+
+#: Backwards-compatible internal alias.
+_build_suite = resolve_suite_args
 
 
 def _add_generation_args(parser: argparse.ArgumentParser) -> None:
@@ -137,7 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Deferred import: the campaign module pulls in the whole system stack,
     # which suite generation/description does not need.
     from repro.bench.campaign import Campaign
-    from repro.bench.tables import format_table
+    from repro.bench.tables import render_outcome_rates
 
     suite = _build_suite(args)
     campaign = Campaign(*[name.strip() for name in args.systems.split(",") if name.strip()])
@@ -151,17 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.verbose:
         campaign.progress(print)
     results = campaign.run()
-    rows = [
-        [
-            name,
-            len(result),
-            f"{100.0 * result.success_rate:.1f}%",
-            f"{100.0 * result.collision_failure_rate:.1f}%",
-            f"{100.0 * result.poor_landing_failure_rate:.1f}%",
-        ]
-        for name, result in results.items()
-    ]
-    print(format_table(["System", "Runs", "Success", "Collision", "Poor landing"], rows))
+    print(render_outcome_rates(results))
     if args.out:
         print(f"per-run JSONL results under {args.out} (re-run to resume)")
     if args.report:

@@ -173,6 +173,20 @@ class TestRrtStar:
         result = planner.plan(PlanningProblem(start=Vec3(0, 0, 5), goal=Vec3(30, 30, 5), time_budget=0.1))
         assert result.planning_time < 1.5
 
+    def test_time_budget_is_a_deterministic_iteration_cap(self):
+        # The budget is converted through the declared per-iteration cost,
+        # never measured mid-search: host load must not change the tree.
+        config = RrtStarConfig(seed=4, max_iterations=100000)
+        problem = PlanningProblem(start=Vec3(0, 0, 5), goal=Vec3(30, 30, 5), time_budget=0.05)
+        results = [
+            RrtStarPlanner(self.make_inflated(), config).plan(problem) for _ in range(2)
+        ]
+        expected = int(0.05 / config.nominal_iteration_cost)
+        assert [r.iterations for r in results] == [expected, expected]
+        assert [w.to_tuple() for w in results[0].waypoints] == [
+            w.to_tuple() for w in results[1].waypoints
+        ]
+
 
 class TestTrajectory:
     def test_length_and_goal(self):
