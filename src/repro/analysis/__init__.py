@@ -28,7 +28,13 @@ from repro.analysis.compare import (
     compare_to_paper,
 )
 from repro.analysis.engine import CampaignAnalysis
-from repro.analysis.io import RecordContext, iter_contexts, iter_records
+from repro.analysis.io import (
+    RecordContext,
+    iter_contexts,
+    iter_records,
+    resolve_result_files,
+)
+from repro.analysis.memo import CachedReport, cached_report, report_cache_key
 from repro.analysis.report import (
     render_comparison_report,
     render_slice_report,
@@ -51,6 +57,7 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "CachedReport",
     "CampaignAnalysis",
     "CampaignComparison",
     "FACTORS",
@@ -64,6 +71,7 @@ __all__ = [
     "ScenarioIndex",
     "SystemSummary",
     "bootstrap_mean_ci",
+    "cached_report",
     "compare_campaigns",
     "compare_summaries",
     "compare_to_paper",
@@ -72,6 +80,8 @@ __all__ = [
     "render_comparison_report",
     "render_slice_report",
     "render_summary_report",
+    "report_cache_key",
+    "resolve_result_files",
     "slice_records",
     "summarize_records",
     "two_proportion_test",

@@ -74,7 +74,31 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", default=None, help="write the markdown report here")
 
 
+def _emit_cached(args: argparse.Namespace, kind: str, factor: str | None = None) -> int:
+    """The ``--cache`` path: memoized rendering keyed by campaign content."""
+    from repro.analysis.memo import cached_report
+
+    result = cached_report(
+        args.results,
+        kind=kind,
+        factor=factor,
+        suites=list(getattr(args, "suite", None) or ()),
+        seed=args.seed,
+        confidence=args.confidence,
+        resamples=args.resamples,
+    )
+    _emit(result.text, args.out)
+    print(
+        f"report cache {'hit' if result.hit else 'miss'} "
+        f"(key {result.key}, {result.records} records)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.cache and Path(args.results).is_dir():
+        return _emit_cached(args, "summary")
     analysis = _analysis(args, args.results)
     if not analysis.summaries():
         print(f"no run records found under {args.results}", file=sys.stderr)
@@ -84,6 +108,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_slice(args: argparse.Namespace) -> int:
+    if args.cache and Path(args.results).is_dir():
+        return _emit_cached(args, "slice", args.by)
     analysis = _analysis(args, args.results)
     slices = analysis.slice(args.by)
     if not slices:
@@ -133,10 +159,20 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="per-system rates and metrics with confidence intervals"
     )
     summarize.add_argument("results", help="campaign JSONL file or results directory")
+    summarize.add_argument(
+        "--cache", action="store_true",
+        help="memoize the rendered report under <results>/.report-cache, "
+        "keyed by campaign context fingerprint + record count: an "
+        "unchanged campaign directory is a cache hit",
+    )
     _add_common_args(summarize)
 
     slice_cmd = sub.add_parser("slice", help="group results by a scenario factor")
     slice_cmd.add_argument("results", help="campaign JSONL file or results directory")
+    slice_cmd.add_argument(
+        "--cache", action="store_true",
+        help="memoize the rendered report (see summarize --cache)",
+    )
     slice_cmd.add_argument(
         "--by", required=True, choices=list(FACTOR_NAMES),
         help="the factor to slice by",

@@ -121,19 +121,31 @@ def discover_result_files(directory: str | Path) -> tuple[list[Path], list[Path]
     return results, suites
 
 
+def resolve_result_files(directory: str | Path) -> list[Path]:
+    """The result files a directory source resolves to, in streaming order.
+
+    Owns the dispatch-directory fallback: a directory with no result files
+    of its own but a populated ``merged/`` subdirectory (the
+    :mod:`repro.dispatch` layout) resolves to the merged files, which is
+    what lets ``repro.analysis summarize <dispatch-dir>`` work directly.
+    Shared by the streaming iterator below and the report memo cache
+    (:mod:`repro.analysis.memo`), so the two agree on what "the campaign's
+    files" means.  Raises ``ValueError`` when nothing resolves.
+    """
+    directory = Path(directory)
+    result_files, _ = discover_result_files(directory)
+    if not result_files:
+        merged = directory / "merged"
+        if merged.is_dir():
+            result_files = discover_result_files(merged)[0]
+        if not result_files:
+            raise ValueError(f"{directory} contains no {RESULT_KIND} JSONL files")
+    return result_files
+
+
 def _iter_path_contexts(path: Path) -> Iterator[RecordContext]:
     if path.is_dir():
-        result_files, _ = discover_result_files(path)
-        if not result_files:
-            # A dispatch directory (repro.dispatch) holds its combined
-            # results one level down, under merged/; fall through to it so
-            # `repro.analysis summarize <dispatch-dir>` works directly.
-            merged = path / "merged"
-            if merged.is_dir() and discover_result_files(merged)[0]:
-                yield from _iter_path_contexts(merged)
-                return
-            raise ValueError(f"{path} contains no {RESULT_KIND} JSONL files")
-        for file in result_files:
+        for file in resolve_result_files(path):
             yield from _iter_path_contexts(file)
         return
     header = read_result_header(path)

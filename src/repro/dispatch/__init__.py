@@ -22,6 +22,7 @@ from repro.dispatch.merge import ShardResultError, load_merged, merge_dispatch, 
 from repro.dispatch.planner import (
     DispatchPlan,
     ShardSpec,
+    build_plan,
     load_plan,
     load_suite,
     plan_dispatch,
@@ -48,6 +49,7 @@ __all__ = [
     "ShardState",
     "ShardStatus",
     "WorkerReport",
+    "build_plan",
     "load_merged",
     "load_plan",
     "load_suite",

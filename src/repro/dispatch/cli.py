@@ -42,17 +42,17 @@ from repro.dispatch.worker import (
 
 def _build_suite(args: argparse.Namespace):
     """Resolve the planned suite plus any fault axis it declares."""
-    import json
-
-    from repro.world.scenario_gen import SuiteSpec, generate_suite
+    from repro.world.scenario_gen import generate_suite
     from repro.world.scenario_suite import ScenarioSuite
+    from repro.world.spec_validation import load_suite_spec
 
     if args.suite:
         return ScenarioSuite.from_jsonl(args.suite), ()
     if args.spec:
-        spec = SuiteSpec.from_dict(
-            json.loads(Path(args.spec).read_text(encoding="utf-8"))
-        )
+        # Structured validation: every field problem reported at once (a
+        # SpecValidationError is a ValueError, so main() exits 2 with the
+        # full issue list rather than a traceback).
+        spec = load_suite_spec(args.spec)
         suite = generate_suite(
             spec, count=args.count, seed=args.seed, repetitions=args.repetitions
         )
@@ -166,6 +166,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from repro.bench.tables import format_table
 
     queue = ShardQueue(args.dir)
+    if args.json:
+        import json
+
+        print(json.dumps(queue.status_payload(), indent=2, sort_keys=True))
+        return 0
     plan = queue.plan
     rows = []
     done = 0
@@ -261,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="per-shard queue state")
     status.add_argument("dir", help="a planned dispatch directory")
+    status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (one JSON object; scripts and the "
+        "campaign service consume this)",
+    )
 
     merge = sub.add_parser("merge", help="combine shard outputs into merged/ JSONL")
     merge.add_argument("dir", help="a drained dispatch directory")

@@ -290,8 +290,7 @@ def write_json_atomic(
     os.replace(tmp, path)
 
 
-def plan_dispatch(
-    directory: str | Path,
+def build_plan(
     suite: ScenarioSuite,
     systems: Sequence[LandingSystemConfig],
     *,
@@ -301,12 +300,12 @@ def plan_dispatch(
     platform: str = "desktop",
     faults: Sequence[FaultSpec] = (),
 ) -> DispatchPlan:
-    """Plan (or re-join) a sharded campaign under ``directory``.
+    """Validate and build a dispatch plan in memory (no files written).
 
-    Idempotent: planning the same campaign into a directory that already
-    holds an identical plan returns the existing plan, so every worker — and
-    a re-run of the whole dispatch — can call this unconditionally.  A
-    directory holding a *different* plan is refused.
+    The pure half of :func:`plan_dispatch`: planning is deterministic, so
+    callers that need a campaign's *identity* before (or without) touching
+    disk — the campaign service deduplicates submissions by the resulting
+    plan fingerprint — build the plan here and write it later.
     """
     if shards <= 0:
         raise ValueError("shards must be positive")
@@ -329,10 +328,38 @@ def plan_dispatch(
         repetitions = suite.repetitions
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
-
-    directory = Path(directory)
-    plan = _build_plan(
+    return _build_plan(
         suite, systems, shards, repetitions, mission or MissionConfig(), platform,
+        faults=faults,
+    )
+
+
+def plan_dispatch(
+    directory: str | Path,
+    suite: ScenarioSuite,
+    systems: Sequence[LandingSystemConfig],
+    *,
+    shards: int,
+    repetitions: int | None = None,
+    mission: MissionConfig | None = None,
+    platform: str = "desktop",
+    faults: Sequence[FaultSpec] = (),
+) -> DispatchPlan:
+    """Plan (or re-join) a sharded campaign under ``directory``.
+
+    Idempotent: planning the same campaign into a directory that already
+    holds an identical plan returns the existing plan, so every worker — and
+    a re-run of the whole dispatch — can call this unconditionally.  A
+    directory holding a *different* plan is refused.
+    """
+    directory = Path(directory)
+    plan = build_plan(
+        suite,
+        systems,
+        shards=shards,
+        repetitions=repetitions,
+        mission=mission,
+        platform=platform,
         faults=faults,
     )
     existing_path = plan_path(directory)

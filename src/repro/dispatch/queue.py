@@ -80,6 +80,20 @@ class ShardStatus:
     heartbeat_age: float | None = None
     records: int | None = None
 
+    def to_dict(self) -> dict:
+        """JSON-compatible view (``dispatch status --json`` / the service)."""
+        return {
+            "shard": self.shard.name,
+            "index": self.shard.index,
+            "start": self.shard.start,
+            "stop": self.shard.stop,
+            "fingerprint": self.shard.fingerprint,
+            "state": self.state.value,
+            "worker": self.worker or None,
+            "heartbeat_age": self.heartbeat_age,
+            "records": self.records,
+        }
+
 
 class ShardLease:
     """An exclusive, heartbeat-renewed claim on one shard."""
@@ -259,6 +273,39 @@ class ShardQueue:
 
     def all_done(self) -> bool:
         return all(self.read_done(shard) is not None for shard in self.plan.shards)
+
+    def status_payload(self) -> dict:
+        """The queue's full state as one JSON-compatible object.
+
+        The machine-readable face of :meth:`status`, shared by
+        ``python -m repro.dispatch status --json`` and the campaign
+        service's job-status endpoints, so the two surfaces cannot drift.
+        """
+        statuses = self.status()
+        states = [status.state.value for status in statuses]
+        runs_done = sum(
+            self.plan.runs_per_shard(status.shard)
+            for status in statuses
+            if status.state is ShardState.DONE
+        )
+        return {
+            "name": self.plan.name,
+            "fingerprint": self.plan.fingerprint,
+            "context": self.plan.context,
+            "platform": self.plan.platform,
+            "systems": [system.name for system in self.plan.systems],
+            "suite_count": self.plan.suite_count,
+            "repetitions": self.plan.repetitions,
+            "faults": [spec.name for spec in self.plan.faults],
+            "total_runs": self.plan.total_runs,
+            "runs_done": runs_done,
+            "records": sum(status.records or 0 for status in statuses),
+            "shard_states": {
+                state.value: states.count(state.value) for state in ShardState
+            },
+            "all_done": states.count(ShardState.DONE.value) == len(statuses),
+            "shards": [status.to_dict() for status in statuses],
+        }
 
     # ------------------------------------------------------------------ #
     def claim(

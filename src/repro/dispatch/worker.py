@@ -154,12 +154,6 @@ def run_worker(
             time.sleep(poll_seconds)
             continue
         shard = lease.shard
-        if progress is not None:
-            progress(
-                f"[{report.worker_id}] claimed {shard.name} "
-                f"({shard.stop - shard.start} scenarios, "
-                f"{plan.runs_per_shard(shard)} runs)"
-            )
         heartbeat = _Heartbeat(lease, interval=lease_seconds / 3.0)
 
         def per_run(line: str, _heartbeat=heartbeat) -> None:
@@ -172,6 +166,14 @@ def run_worker(
                 progress(line)
 
         try:
+            if progress is not None:
+                # Inside the release-on-raise block: a progress callback that
+                # raises (the service's cancel signal) must not leak the lease.
+                progress(
+                    f"[{report.worker_id}] claimed {shard.name} "
+                    f"({shard.stop - shard.start} scenarios, "
+                    f"{plan.runs_per_shard(shard)} runs)"
+                )
             campaign = _shard_campaign(plan, suite, shard, lease.results_dir, per_run)
             with heartbeat:
                 results = campaign.run()

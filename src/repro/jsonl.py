@@ -13,6 +13,7 @@ both :mod:`repro.core.metrics` and :mod:`repro.world.scenario_suite`.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import warnings
 from pathlib import Path
@@ -146,3 +147,57 @@ def iter_frame_records(
         )
         if on_torn_tail is not None:
             on_torn_tail(pending_error)
+
+
+def read_frame_page(
+    path: str | Path,
+    expected_kind: str,
+    max_schema: int,
+    parse: Callable[[str], T],
+    *,
+    offset: int = 0,
+    limit: int | None = None,
+    description: str = "record",
+) -> tuple[dict[str, Any], list[T], int]:
+    """One page of a framed JSONL file: ``(header, records, total)``.
+
+    The pagination primitive behind the campaign service's
+    ``GET /jobs/{id}/records`` endpoint: streams the file once, parses only
+    the ``[offset, offset + limit)`` slice of its records, and counts the
+    rest, so paging through a large campaign never materialises it.  Torn
+    trailing records are dropped (the :func:`iter_frame_records` policy) and
+    are not counted in ``total``; an ``offset`` at or past the end yields an
+    empty page with the true total.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be non-negative, got {offset}")
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be non-negative, got {limit}")
+    header = read_frame_header(path)
+    validate_frame_header(path, header, expected_kind, max_schema)
+    stop = None if limit is None else offset + limit
+    page: list[T] = []
+    total = 0
+    counter = itertools.count()
+
+    def parse_in_window(line: str) -> T | None:
+        index = next(counter)
+        # Parse every line (a malformed line must still be recognised as the
+        # torn tail wherever it falls), but keep only the requested window.
+        parsed = parse(line)
+        if index >= offset and (stop is None or index < stop):
+            return parsed
+        return None
+
+    for item in iter_frame_records(
+        path,
+        expected_kind,
+        max_schema,
+        parse_in_window,
+        description=description,
+        skip_header_validation=True,
+    ):
+        total += 1
+        if item is not None:
+            page.append(item)
+    return header, page, total

@@ -52,14 +52,24 @@ def _suite_summary(suite: ScenarioSuite) -> str:
 
 
 def resolve_suite_args(args: argparse.Namespace) -> ScenarioSuite:
-    """Build the suite a CLI invocation asked for: ``--suite`` file or preset.
+    """Build the suite a CLI invocation asked for: file, spec or preset.
 
     Shared by every campaign-running CLI that exposes the standard
-    ``--suite`` / ``--preset`` / ``--count`` / ``--seed`` / ``--repetitions``
-    arguments (``repro.scenarios`` and ``repro.faults``).
+    ``--suite`` / ``--spec`` / ``--preset`` / ``--count`` / ``--seed`` /
+    ``--repetitions`` arguments (``repro.scenarios`` and ``repro.faults``).
+    A ``--spec`` SuiteSpec JSON file goes through the structured validator
+    (:mod:`repro.world.spec_validation`), so every field problem is reported
+    at once — the same checks the campaign service applies to submissions.
     """
     if getattr(args, "suite", None):
         return ScenarioSuite.from_jsonl(args.suite)
+    if getattr(args, "spec", None):
+        from repro.world.spec_validation import load_suite_spec
+
+        spec = load_suite_spec(args.spec)
+        return generate_suite(
+            spec, count=args.count, seed=args.seed, repetitions=args.repetitions
+        )
     return generate_suite(
         args.preset, count=args.count, seed=args.seed, repetitions=args.repetitions
     )
@@ -75,6 +85,11 @@ def _add_generation_args(parser: argparse.ArgumentParser) -> None:
         default="stress",
         choices=sorted(PRESET_NAMES),
         help="suite preset to sample from (default: stress, every axis engaged)",
+    )
+    parser.add_argument(
+        "--spec", default=None,
+        help="generate from a SuiteSpec JSON file instead of a preset "
+        "(validated field by field; see SuiteSpec.to_dict)",
     )
     parser.add_argument("--seed", type=int, default=None, help="suite master seed")
     parser.add_argument("--count", type=int, default=None, help="number of scenarios")
@@ -221,15 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "presets":
-        return _cmd_presets(args)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "export":
-        return _cmd_generate(args, require_out=True)
-    if args.command == "describe":
-        return _cmd_describe(args)
-    return _cmd_run(args)
+    try:
+        if args.command == "presets":
+            return _cmd_presets(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "export":
+            return _cmd_generate(args, require_out=True)
+        if args.command == "describe":
+            return _cmd_describe(args)
+        return _cmd_run(args)
+    except (FileNotFoundError, ValueError) as error:
+        # Missing suite files and invalid --spec payloads (including the
+        # multi-line issue list of a SpecValidationError) get a diagnostic
+        # and exit 2, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,39 @@
+"""Campaign platform service: an HTTP job server over the dispatch protocol.
+
+The long-running surface of the evaluation platform: a stdlib-only HTTP
+server (:class:`~repro.service.server.CampaignServer`) that accepts
+SuiteSpec/fault-plan submissions, deduplicates them by dispatch-plan
+content fingerprint, drains them with a supervised in-process worker pool
+(:class:`~repro.service.pool.WorkerPool` — ordinary dispatch workers on
+threads, so external ``python -m repro.dispatch work`` processes
+cooperate), and serves merged records plus disk-memoized analysis reports.
+
+All server state is the directory tree (:class:`~repro.service.jobs.JobStore`):
+kill the process, start a new one on the same root, and every job resumes
+exactly where the dispatch queue files say it was.
+
+* :mod:`repro.service.jobs` — submissions, validation, dedup, job state;
+* :mod:`repro.service.pool` — the supervised worker pool;
+* :mod:`repro.service.server` — HTTP routes over the store;
+* :mod:`repro.service.client` — plain-``urllib`` client;
+* :mod:`repro.service.cli` — ``python -m repro.service``
+  (``serve`` / ``submit`` / ``status`` / ``fetch`` / ``cancel``).
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import Job, JobStore, UnknownJobError, validate_submission
+from repro.service.pool import JobCancelled, WorkerPool
+from repro.service.server import CampaignServer, serve
+
+__all__ = [
+    "CampaignServer",
+    "Job",
+    "JobCancelled",
+    "JobStore",
+    "ServiceClient",
+    "ServiceClientError",
+    "UnknownJobError",
+    "WorkerPool",
+    "serve",
+    "validate_submission",
+]

@@ -1,0 +1,126 @@
+"""A plain-``urllib`` client for the campaign platform service.
+
+No dependencies beyond the stdlib, so any machine with Python can submit
+campaigns and fetch reports; the :mod:`repro.service.cli` subcommands
+(``submit`` / ``status`` / ``fetch`` / ``cancel``) are thin wrappers over
+this class, and tests drive the server through it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error response from the service, with its decoded payload."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        detail = payload.get("error", "")
+        issues = payload.get("issues") or ()
+        lines = [f"HTTP {status}: {detail}" if detail else f"HTTP {status}"]
+        lines.extend(f"  - {issue['field']}: {issue['reason']}" for issue in issues)
+        super().__init__("\n".join(lines))
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one campaign service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str,
+        body: dict[str, Any] | None = None,
+        query: dict[str, Any] | None = None,
+    ) -> tuple[bytes, dict[str, str]]:
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urllib.parse.urlencode(
+                {key: value for key, value in query.items() if value is not None}
+            )
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read(), dict(response.headers)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceClientError(error.code, payload) from None
+
+    def _json(self, method: str, path: str, body: dict[str, Any] | None = None,
+              query: dict[str, Any] | None = None) -> dict[str, Any]:
+        raw, _ = self._request(method, path, body, query)
+        return json.loads(raw)
+
+    def _text(self, path: str, query: dict[str, Any] | None = None) -> tuple[str, dict[str, str]]:
+        raw, headers = self._request("GET", path, query=query)
+        return raw.decode("utf-8"), headers
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def submit(self, submission: dict[str, Any]) -> dict[str, Any]:
+        """Submit a campaign; the response carries ``id`` and ``created``."""
+        return self._json("POST", "/jobs", body=submission)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def records(
+        self, job_id: str, *, offset: int = 0, limit: int | None = None,
+        system: str | None = None,
+    ) -> dict[str, Any]:
+        return self._json(
+            "GET", f"/jobs/{job_id}/records",
+            query={"offset": offset, "limit": limit, "system": system},
+        )
+
+    def report(self, job_id: str) -> tuple[str, dict[str, str]]:
+        """``(markdown, headers)`` — headers carry ``X-Report-Cache``."""
+        return self._text(f"/jobs/{job_id}/report")
+
+    def slice(self, job_id: str, factor: str) -> tuple[str, dict[str, str]]:
+        return self._text(f"/jobs/{job_id}/slice/{factor}")
+
+    def coverage(self, job_id: str) -> tuple[str, dict[str, str]]:
+        return self._text(f"/jobs/{job_id}/coverage")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll_seconds: float = 0.25,
+    ) -> dict[str, Any]:
+        """Poll until the job is done or cancelled; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} after {timeout:.0f}s "
+                    f"({status['queue']['runs_done']}/{status['queue']['total_runs']} runs)"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,167 @@
+"""The service's supervised in-process worker pool.
+
+Pool threads drain jobs with the ordinary dispatch worker loop
+(:func:`repro.dispatch.worker.run_worker`), so everything the dispatch
+subsystem guarantees — atomic lease claims, heartbeats, stale-lease
+eviction, crash-resume from persisted records — holds unchanged, and
+external ``python -m repro.dispatch work`` processes pointed at a job's
+dispatch directory cooperate with the pool through the same files.
+
+What the pool adds on top:
+
+* **submission order**: threads always attack the oldest unfinished,
+  uncancelled job first, so jobs complete in the order tenants submitted
+  them (within a job, shards still fan out across all threads).
+* **cancellation**: the worker's progress callback checks the job's cancel
+  marker between missions and raises; ``run_worker`` releases the lease on
+  the way out, so a cancelled shard is immediately re-claimable (and simply
+  never re-claimed by this pool).
+* **supervision**: a thread that hits an unexpected error logs it and goes
+  back to scheduling instead of dying — the lease protocol already turned
+  the failure into a resumable shard.
+* **merging**: the first thread to see a job fully drained merges its shard
+  outputs into ``merged/`` (store-lock serialised), which is what the
+  records/report endpoints serve from.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable
+
+from repro.dispatch.merge import ShardResultError
+from repro.dispatch.queue import DEFAULT_LEASE_SECONDS
+from repro.dispatch.worker import run_worker
+
+from repro.service.jobs import Job, JobStore
+
+#: How long an idle pool thread sleeps before re-scanning for work.
+DEFAULT_IDLE_SECONDS = 0.2
+
+
+class JobCancelled(Exception):
+    """Raised inside the worker loop when the job's cancel marker appears."""
+
+
+class WorkerPool:
+    """``workers`` daemon threads draining a store's jobs in order."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int = 2,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        idle_seconds: float = DEFAULT_IDLE_SECONDS,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.store = store
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.idle_seconds = idle_seconds
+        self._log = log
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    def log(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message)
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("pool already started")
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._loop, name=f"service-worker-{index}",
+                args=(index,), daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal every thread and wait; in-flight missions finish first.
+
+        Anything unfinished stays resumable on disk: leases go stale and the
+        next pool (or an external worker) re-claims the shards.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # ------------------------------------------------------------------ #
+    def _next_job(self) -> Job | None:
+        """The oldest job with outstanding work, or ``None``."""
+        for job in self.store.jobs():
+            if job.cancelled:
+                continue
+            try:
+                if not job.queue().all_done():
+                    return job
+            except (OSError, ValueError):
+                continue  # half-planned or torn directory: skip this pass
+        return None
+
+    def _progress(self, job: Job, worker_id: str):
+        def callback(line: str) -> None:
+            if self._stop.is_set():
+                raise JobCancelled(f"pool stopping; abandoning {job.id}")
+            if job.cancelled:
+                raise JobCancelled(f"job {job.id} cancelled")
+            self.log(f"{line}")
+
+        return callback
+
+    def _drain_once(self, job: Job, worker_id: str) -> None:
+        run_worker(
+            job.dispatch_dir,
+            worker_id=worker_id,
+            lease_seconds=self.lease_seconds,
+            # Return (don't poll) when other workers hold every remaining
+            # shard, so this thread can move on to the next job.
+            wait=False,
+            progress=self._progress(job, worker_id),
+        )
+        if not job.cancelled and job.queue().all_done():
+            try:
+                self.store.ensure_merged(job)
+                self.log(f"[{worker_id}] merged {job.id}")
+            except ShardResultError as error:
+                self.log(f"[{worker_id}] merge of {job.id} failed: {error}")
+
+    def _loop(self, index: int) -> None:
+        worker_id = f"service-pool-{index}"
+        while not self._stop.is_set():
+            job = self._next_job()
+            if job is None:
+                self._stop.wait(self.idle_seconds)
+                continue
+            try:
+                self._drain_once(job, worker_id)
+            except JobCancelled as cancelled:
+                self.log(f"[{worker_id}] {cancelled}")
+            except Exception:
+                # Supervision: the shard this thread was flying is already
+                # resumable (its lease expires), so log and keep scheduling.
+                self.log(
+                    f"[{worker_id}] worker error on job {job.id}:\n"
+                    + traceback.format_exc()
+                )
+                self._stop.wait(self.idle_seconds)
+            else:
+                # Completed or nothing claimable right now; brief pause when
+                # the job is still unfinished so we don't spin on a queue
+                # held entirely by other workers.
+                if not job.cancelled and not job.queue().all_done():
+                    self._stop.wait(self.idle_seconds)

@@ -350,3 +350,48 @@ class TestRoundTripNumbers:
         assert loaded["landing_error"] == pytest.approx(0.42)
         nan_errors = [r.landing_error for r in records if not r.landed]
         assert all(math.isnan(value) for value in nan_errors)
+
+
+class TestSummarizeCache:
+    def test_unchanged_dir_is_a_cache_hit_and_byte_identical(self, tmp_path, capsys):
+        write_campaign(tmp_path, total=6)
+        first = tmp_path / "r1.md"
+        assert main(["summarize", str(tmp_path), "--cache", "--out", str(first)]) == 0
+        assert "report cache miss" in capsys.readouterr().err
+        second = tmp_path / "r2.md"
+        assert main(["summarize", str(tmp_path), "--cache", "--out", str(second)]) == 0
+        assert "report cache hit" in capsys.readouterr().err
+        assert second.read_bytes() == first.read_bytes()
+        # The memoized output equals the uncached path byte for byte.
+        plain = tmp_path / "r3.md"
+        assert main(["summarize", str(tmp_path), "--out", str(plain)]) == 0
+        assert plain.read_bytes() == first.read_bytes()
+
+    def test_appended_records_move_the_key_and_prune_the_old_entry(
+        self, tmp_path, capsys
+    ):
+        write_campaign(tmp_path, total=4)
+        assert main(["summarize", str(tmp_path), "--cache"]) == 0
+        capsys.readouterr()
+        write_campaign(tmp_path, total=2)  # appends to the same file
+        assert main(["summarize", str(tmp_path), "--cache"]) == 0
+        assert "report cache miss" in capsys.readouterr().err
+        cache_dir = tmp_path / ".report-cache"
+        # One live entry per report kind: the superseded key was pruned.
+        assert len(list(cache_dir.glob("summary-*.md"))) == 1
+
+    def test_analysis_params_are_part_of_the_key(self, tmp_path, capsys):
+        write_campaign(tmp_path, total=4)
+        assert main(["summarize", str(tmp_path), "--cache"]) == 0
+        first_err = capsys.readouterr().err
+        assert main(["summarize", str(tmp_path), "--cache", "--seed", "9"]) == 0
+        second_err = capsys.readouterr().err
+        assert "report cache miss" in first_err
+        assert "report cache miss" in second_err
+
+    def test_cache_flag_on_a_single_file_uses_plain_path(self, tmp_path, capsys):
+        path = write_campaign(tmp_path, total=4)
+        assert main(["summarize", str(path), "--cache"]) == 0
+        out = capsys.readouterr()
+        assert "# Campaign analytics summary" in out.out
+        assert "report cache" not in out.err  # file sources skip the memo

@@ -590,3 +590,49 @@ class TestDispatchCli:
         expected = generate_suite("smoke", count=4, seed=3)
         assert plan.suite_count == 4
         assert plan.suite_fingerprint == suite_fingerprint(expected)
+
+    def test_status_json_payload(self, tmp_path, suite, stub_execute, capsys):
+        directory = tmp_path / "dispatch"
+        plan = plan_smoke(tmp_path, suite, shards=2)
+        run_worker(directory, worker_id="w0", max_shards=1, wait=False)
+        assert dispatch_main(["status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fingerprint"] == plan.fingerprint
+        assert payload["context"] == plan.context
+        assert payload["total_runs"] == 4
+        assert payload["all_done"] is False
+        assert payload["shard_states"]["done"] == 1
+        assert payload["shard_states"]["pending"] == 1
+        states = {shard["shard"]: shard["state"] for shard in payload["shards"]}
+        assert sorted(states) == ["shard-0000", "shard-0001"]
+        assert sorted(states.values()) == ["done", "pending"]
+        done = next(s for s in payload["shards"] if s["state"] == "done")
+        assert done["records"] == 2
+        assert done["worker"] == "w0"
+
+    def test_status_json_all_done(self, tmp_path, suite, stub_execute, capsys):
+        directory = tmp_path / "dispatch"
+        plan_smoke(tmp_path, suite, shards=2)
+        run_worker(directory, worker_id="w0")
+        assert dispatch_main(["status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_done"] is True
+        assert payload["runs_done"] == payload["total_runs"] == 4
+        assert payload["records"] == 4
+
+    def test_plan_from_invalid_spec_lists_every_issue(self, tmp_path, capsys):
+        spec_file = tmp_path / "bad-spec.json"
+        spec_file.write_text(json.dumps({"count": 0, "bogus": 1, "seed": "x"}))
+        assert (
+            dispatch_main(
+                [
+                    "plan", str(tmp_path / "dispatch"),
+                    "--spec", str(spec_file), "--shards", "2",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "invalid suite spec" in err
+        for field in ("count", "bogus", "seed"):
+            assert field in err

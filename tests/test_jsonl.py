@@ -13,6 +13,7 @@ import pytest
 
 from repro.jsonl import (
     iter_frame_records,
+    read_frame_page,
     read_frame_header,
     read_jsonl_frame,
     validate_frame_header,
@@ -172,3 +173,68 @@ class TestReadJsonlFrame:
         header, lines = read_jsonl_frame(path, KIND, 1)
         assert header["count"] == 2
         assert [json.loads(line)["value"] for line in lines] == [1, 2]
+
+
+class TestReadFramePage:
+    def file(self, tmp_path, count=5):
+        lines = [header_line()] + [json.dumps({"value": i}) for i in range(count)]
+        return write_lines(tmp_path / "page.jsonl", *lines)
+
+    def test_window_and_total(self, tmp_path):
+        path = self.file(tmp_path)
+        header, page, total = read_frame_page(
+            path, KIND, 1, parse_payload, offset=1, limit=2
+        )
+        assert header["kind"] == KIND
+        assert [r["value"] for r in page] == [1, 2]
+        assert total == 5
+
+    def test_no_limit_reads_to_end(self, tmp_path):
+        _, page, total = read_frame_page(
+            self.file(tmp_path), KIND, 1, parse_payload, offset=3
+        )
+        assert [r["value"] for r in page] == [3, 4]
+        assert total == 5
+
+    def test_offset_past_end_is_empty_with_true_total(self, tmp_path):
+        _, page, total = read_frame_page(
+            self.file(tmp_path), KIND, 1, parse_payload, offset=99, limit=10
+        )
+        assert page == []
+        assert total == 5
+
+    def test_limit_zero_counts_without_materialising(self, tmp_path):
+        _, page, total = read_frame_page(
+            self.file(tmp_path), KIND, 1, parse_payload, limit=0
+        )
+        assert page == []
+        assert total == 5
+
+    def test_torn_tail_dropped_and_not_counted(self, tmp_path):
+        path = self.file(tmp_path, count=3)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            _, page, total = read_frame_page(path, KIND, 1, parse_payload, limit=10)
+        assert [r["value"] for r in page] == [0, 1, 2]
+        assert total == 3
+
+    def test_malformed_middle_line_still_raises(self, tmp_path):
+        path = write_lines(
+            tmp_path / "bad.jsonl", header_line(),
+            '{"value": 0}', "not json", '{"value": 2}',
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            read_frame_page(path, KIND, 1, parse_payload)
+
+    def test_negative_offset_or_limit_rejected(self, tmp_path):
+        path = self.file(tmp_path)
+        with pytest.raises(ValueError, match="offset"):
+            read_frame_page(path, KIND, 1, parse_payload, offset=-1)
+        with pytest.raises(ValueError, match="limit"):
+            read_frame_page(path, KIND, 1, parse_payload, limit=-2)
+
+    def test_wrong_kind_refused(self, tmp_path):
+        path = self.file(tmp_path)
+        with pytest.raises(ValueError, match="not a scenario-suite"):
+            read_frame_page(path, "scenario-suite", 1, parse_payload)
