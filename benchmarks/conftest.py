@@ -118,12 +118,46 @@ def _load_existing_suites(path: Path) -> dict[str, dict[str, dict[str, float]]]:
     return suites
 
 
+def _prune_stale_suites(
+    suites: dict[str, dict[str, dict[str, float]]],
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Drop tracked results whose benchmark no longer exists.
+
+    Merge-on-write preserves history across partial sessions, which also
+    means a deleted or renamed bench would otherwise haunt the file forever.
+    A suite is dropped when its ``test_<suite>.py`` module is gone; within a
+    live module, ``test_``-prefixed entries (pytest-benchmark node names) are
+    dropped when the function no longer appears in the module source.
+    Custom-named meters (e.g. ``campaign_serial``) are chosen at runtime, so
+    they live and die with their module only.
+    """
+    pruned: dict[str, dict[str, dict[str, float]]] = {}
+    for suite, benches in suites.items():
+        module_path = Path(_BENCH_DIR) / f"test_{suite}.py"
+        if not module_path.is_file():
+            continue
+        try:
+            source = module_path.read_text(encoding="utf-8")
+        except OSError:
+            pruned[suite] = dict(benches)
+            continue
+        kept = {
+            name: stats
+            for name, stats in benches.items()
+            if not name.startswith("test_")
+            or f"def {name.partition('[')[0]}(" in source
+        }
+        if kept:
+            pruned[suite] = kept
+    return pruned
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Merge this session's collected stats into BENCH_results.json."""
     if not _BENCH_RESULTS:
         return
     path = _results_path()
-    suites = _load_existing_suites(path)
+    suites = _prune_stale_suites(_load_existing_suites(path))
     # Merge per bench, not per suite: running a subset of a module (-k)
     # must refresh only the benches that actually ran, never discard the
     # rest of that module's tracked results.

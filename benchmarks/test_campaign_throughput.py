@@ -15,6 +15,8 @@ import time
 
 from repro.bench.campaign import Campaign
 from repro.core.config import mls_v1
+from repro.geometry import Pose, Quaternion, Vec3
+from repro.sensors.camera import DownwardCamera
 from repro.world.scenario_gen import generate_suite
 
 #: Fixed-seed campaign shared by the three execution paths.
@@ -73,3 +75,42 @@ def test_campaign_throughput_serial_parallel_dispatched(bench_results, tmp_path)
             seconds=elapsed,
             runs_per_s=runs / elapsed,
         )
+
+
+def test_batched_projection_rate(bench_results):
+    """Pixel -> ground projection rate of the vectorized camera front end.
+
+    Renders full frames from a sweep of tilted poses and reports ground-plane
+    projections per second (pixels per frame times frames), the classic
+    figure of merit for camera-to-ground mapping loops.  Tracked so a
+    regression in the batched projection/render path shows up even when the
+    campaign meter is dominated by non-camera work.
+    """
+    from repro.world.scenario import Scenario  # local: heavy world imports
+    from repro.world.map_generator import MapStyle
+
+    scenario = generate_suite(SUITE_PRESET, count=1, seed=SUITE_SEED).scenarios[0]
+    assert isinstance(scenario, Scenario) and isinstance(scenario.map_style, MapStyle)
+    world = scenario.build_world()
+    camera = DownwardCamera(seed=3)
+    intr = camera.intrinsics
+    frames = 60
+    poses = [
+        Pose(
+            position=Vec3(2.0 * i - frames, 1.5 * i % 30.0, 12.0 + (i % 5)),
+            orientation=Quaternion.from_euler(0.02 * (i % 7), 0.015 * (i % 5), 0.1 * i),
+        )
+        for i in range(frames)
+    ]
+    start = time.perf_counter()
+    for pose in poses:
+        camera.capture(world, pose, timestamp=0.04 * len(poses))
+    elapsed = time.perf_counter() - start
+
+    projections = frames * intr.width * intr.height
+    bench_results(
+        "projection_batch",
+        frames=float(frames),
+        seconds=elapsed,
+        projections_per_s=projections / elapsed,
+    )

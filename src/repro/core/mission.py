@@ -9,6 +9,7 @@ detection and resource statistics the other tables need.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -18,9 +19,9 @@ from repro.core.landing_system import LandingSystem
 from repro.core.metrics import DetectionStats, ResourceStats, RunOutcome, RunRecord
 from repro.core.platform import DesktopPlatform, ExecutionPlatform, TickBudget
 from repro.core.states import DecisionState
-from repro.geometry import Vec3
+from repro.geometry import Pose, Vec3
 from repro.sensors.camera import CameraFrame, DownwardCamera
-from repro.sensors.depth import DepthCamera
+from repro.sensors.depth import DepthCamera, PointCloud
 from repro.vehicle.autopilot import Autopilot, AutopilotConfig, FlightMode
 from repro.world.scenario import Scenario
 from repro.world.world import World
@@ -42,6 +43,14 @@ class MissionConfig:
     min_marker_pixels_for_visibility: float = 7.0
     end_on_failsafe: bool = True
     camera_seed: int = 0
+    #: Elide perception work on ticks that provably cannot change the plan:
+    #: camera frames proven to contain only ground texture skip rendering and
+    #: detection (timings still charged, RNG still advanced), and depth
+    #: captures proven empty skip ray casting.  Byte-identical to the slow
+    #: path — every skip condition is conservative — and automatically
+    #: disabled under fault injection or custom detectors that do not declare
+    #: ``blank_frame_silent``.
+    fast_path: bool = True
 
 
 @dataclass
@@ -127,6 +136,16 @@ class MissionRunner:
         collision_name = ""
         budget = TickBudget()
 
+        # Fast-path eligibility is fixed for the whole run: never under a
+        # fault harness (injectors must see every frame) and only for
+        # detectors declared silent on blank frames.
+        fast_path = (
+            mission.fast_path
+            and self.fault_harness is None
+            and self.system.frame_elision_safe
+        )
+        max_view_angle = self.camera.max_view_angle()
+
         while time_now < mission.max_mission_time:
             time_now += mission.physics_dt
             state = self.autopilot.step(mission.physics_dt)
@@ -160,13 +179,26 @@ class MissionRunner:
                 estimate = self.autopilot.estimated_state
                 if harness is not None:
                     estimate = harness.filter_estimate(estimate, time_now)
-                cloud = self.depth_forward.capture(
-                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
-                )
-                cloud_down = self.depth_down.capture(
-                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
-                )
-                merged = cloud.merged_with(cloud_down)
+                if (
+                    fast_path
+                    and self.depth_forward.capture_provably_empty(self.world, state.pose)
+                    and self.depth_down.capture_provably_empty(self.world, state.pose)
+                ):
+                    # Both captures would return empty clouds without touching
+                    # their RNGs; build the identical merged cloud directly.
+                    merged = PointCloud(
+                        points=[],
+                        timestamp=time_now,
+                        sensor_position=estimate.pose.position,
+                    )
+                else:
+                    cloud = self.depth_forward.capture(
+                        self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                    )
+                    cloud_down = self.depth_down.capture(
+                        self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                    )
+                    merged = cloud.merged_with(cloud_down)
                 if harness is not None:
                     merged = harness.filter_cloud(merged, time_now)
                 if merged is not None:
@@ -183,19 +215,27 @@ class MissionRunner:
                 estimate = self.autopilot.estimated_state
                 if harness is not None:
                     estimate = harness.filter_estimate(estimate, time_now)
-                frame = self.camera.capture(
-                    self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
-                )
-                if harness is not None:
-                    frame = harness.filter_frame(frame, time_now)
-                if frame is not None:
-                    result = self.system.process_frame(frame)
-                    self._score_detections(frame, result, detection_stats)
+                if fast_path and self._frame_provably_blank(state.pose, max_view_angle):
+                    # The render would contain only ground texture and the
+                    # detector is declared silent on such frames: advance the
+                    # camera RNG exactly as a capture would and charge the
+                    # nominal detection cost without rendering or detecting.
+                    self.camera.consume_skipped_frame_rng(self.world)
+                    self.system.process_skipped_frame(time_now)
                 else:
-                    # Frame lost to a sensor fault: no detection ran this
-                    # tick, so no detection cost either (process_frame is
-                    # what normally refreshes the timing each tick).
-                    self.system.last_timings.detection = 0.0
+                    frame = self.camera.capture(
+                        self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
+                    )
+                    if harness is not None:
+                        frame = harness.filter_frame(frame, time_now)
+                    if frame is not None:
+                        result = self.system.process_frame(frame)
+                        self._score_detections(frame, result, detection_stats)
+                    else:
+                        # Frame lost to a sensor fault: no detection ran this
+                        # tick, so no detection cost either (process_frame is
+                        # what normally refreshes the timing each tick).
+                        self.system.last_timings.detection = 0.0
 
                 command = self.system.decide(
                     estimate, time_now, allow_replan=budget.allow_replan
@@ -224,6 +264,39 @@ class MissionRunner:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    #: Widest camera view cone (tilt + half-diagonal FOV, radians) the fast
+    #: path will reason about; beyond this the ground-footprint bound blows
+    #: up towards the horizon and the frame is rendered normally.
+    _MAX_SKIP_VIEW_CONE = math.radians(85.0)
+
+    def _frame_provably_blank(self, pose: Pose, max_view_angle: float) -> bool:
+        """True when a capture at ``pose`` provably renders only ground texture.
+
+        Conservative analytic test: with zero glare and image noise the
+        camera draws no RNG beyond its frame counter, and every pixel ray
+        leaves the camera within ``tilt + max_view_angle`` of straight down,
+        so its ground hit lies within ``altitude * tan(...)`` of the nadir
+        point.  If no marker footprint and no obstacle column reaches that
+        disc, the rendered image is pure ground texture — on which the
+        configured detector is declared silent — and the frame cannot change
+        any downstream state.  Any doubt (horizon-grazing tilt, weather
+        image structure, low altitude) falls back to a full render.
+        """
+        weather = self.world.weather
+        if weather.glare > 0 or weather.image_noise > 0:
+            return False
+        altitude = pose.position.z - self.world.ground_altitude
+        if altitude <= 0.5:
+            return False
+        q = pose.orientation
+        cos_tilt = 1.0 - 2.0 * (q.x * q.x + q.y * q.y)
+        tilt = math.acos(min(1.0, max(-1.0, cos_tilt)))
+        view_cone = tilt + max_view_angle
+        if view_cone >= self._MAX_SKIP_VIEW_CONE:
+            return False
+        reach = altitude * math.tan(view_cone)
+        return self.world.geometry().frame_render_clear(pose.position, reach)
+
     def _apply_command(self, command: Command) -> None:
         if command.kind is CommandKind.SETPOINT and command.setpoint is not None:
             self.autopilot.set_position_setpoint(

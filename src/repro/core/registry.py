@@ -300,7 +300,13 @@ def _inflation_config(context: ComponentContext):
     latency=0.012,
     aliases=("classical",),
     description="OpenCV-style quad detection + ID decode (MLS-V1)",
-    metadata={"proposes_unidentified": False, "needs_network": False},
+    metadata={
+        "proposes_unidentified": False,
+        "needs_network": False,
+        # Draws no RNG and returns no detections on frames containing only
+        # ground texture, so the mission fast path may elide such frames.
+        "blank_frame_silent": True,
+    },
 )
 def _build_classical_detector(context: ComponentContext):
     from repro.perception.classical import ClassicalMarkerDetector
@@ -313,7 +319,13 @@ def _build_classical_detector(context: ComponentContext):
     latency=0.030,
     aliases=("learned", "yolo"),
     description="Learned patch detector standing in for TPH-YOLO (MLS-V2/V3)",
-    metadata={"proposes_unidentified": True, "needs_network": True},
+    metadata={
+        "proposes_unidentified": True,
+        "needs_network": True,
+        # The proposal stage finds nothing on texture-only frames and the
+        # network is deterministic, so blank frames may be elided.
+        "blank_frame_silent": True,
+    },
 )
 def _build_learned_detector(context: ComponentContext):
     from repro.perception.learned import LearnedMarkerDetector

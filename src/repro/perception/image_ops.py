@@ -49,34 +49,74 @@ def connected_components(mask: np.ndarray, min_size: int = 12) -> list[np.ndarra
     """Label 4-connected components of a boolean mask.
 
     Returns one boolean mask per component with at least ``min_size`` pixels,
-    ordered largest first.  Implemented with an iterative flood fill (BFS) to
-    avoid recursion limits on large blobs.
+    ordered largest first (ties keep row-major discovery order, matching the
+    flood-fill reference implementation).  Implemented as union-find over
+    horizontal pixel runs: rows are decomposed into runs with one vectorised
+    diff, and only run adjacencies — not pixels — are walked in Python.
     """
-    visited = np.zeros_like(mask, dtype=bool)
-    components: list[np.ndarray] = []
     h, w = mask.shape
-    for start_row in range(h):
-        for start_col in range(w):
-            if not mask[start_row, start_col] or visited[start_row, start_col]:
-                continue
-            stack = [(start_row, start_col)]
-            visited[start_row, start_col] = True
-            pixels = []
-            while stack:
-                row, col = stack.pop()
-                pixels.append((row, col))
-                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                    nr, nc = row + dr, col + dc
-                    if 0 <= nr < h and 0 <= nc < w and mask[nr, nc] and not visited[nr, nc]:
-                        visited[nr, nc] = True
-                        stack.append((nr, nc))
-            if len(pixels) >= min_size:
-                component = np.zeros_like(mask, dtype=bool)
-                rows, cols = zip(*pixels)
-                component[list(rows), list(cols)] = True
-                components.append(component)
-    components.sort(key=lambda c: int(c.sum()), reverse=True)
-    return components
+    padded = np.zeros((h, w + 2), dtype=np.int8)
+    padded[:, 1:-1] = mask
+    delta = np.diff(padded, axis=1)
+    start_rows, start_cols = np.nonzero(delta == 1)
+    end_cols = np.nonzero(delta == -1)[1]
+    run_count = len(start_rows)
+    if run_count == 0:
+        return []
+
+    parent = list(range(run_count))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    # Runs are emitted row-major; row_offsets[r] is the first run of row r.
+    # Plain-int lists keep the union sweep out of numpy-scalar overhead.
+    row_offsets = np.searchsorted(start_rows, np.arange(h + 1)).tolist()
+    starts = start_cols.tolist()
+    ends = end_cols.tolist()
+    for row in range(h - 1):
+        a, a_end = row_offsets[row], row_offsets[row + 1]
+        b, b_end = row_offsets[row + 1], row_offsets[row + 2]
+        while a < a_end and b < b_end:
+            if starts[a] < ends[b] and starts[b] < ends[a]:
+                root_a, root_b = find(a), find(b)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+            if ends[a] <= ends[b]:
+                a += 1
+            else:
+                b += 1
+
+    # Resolve every run to its root with vectorised pointer jumping; path
+    # halving during the sweep keeps the trees shallow so this converges in
+    # a couple of iterations.
+    roots = np.asarray(parent, dtype=np.int64)
+    while True:
+        jumped = roots[roots]
+        if np.array_equal(jumped, roots):
+            break
+        roots = jumped
+    sizes = np.bincount(roots, weights=end_cols - start_cols).astype(np.int64)
+    # First occurrence of each root in row-major run order is the component's
+    # smallest flat pixel index — exactly where the reference flood fill
+    # would seed it, so sorting first occurrences gives discovery order.
+    unique_roots, first_runs = np.unique(roots, return_index=True)
+    discovery = unique_roots[np.argsort(first_runs, kind="stable")]
+
+    sized: list[tuple[int, np.ndarray]] = []
+    for root in discovery:
+        size = int(sizes[root])
+        if size < min_size:
+            continue
+        component = np.zeros((h, w), dtype=bool)
+        for i in np.nonzero(roots == root)[0]:
+            component[start_rows[i], starts[i]:ends[i]] = True
+        sized.append((size, component))
+    sized.sort(key=lambda item: item[0], reverse=True)
+    return [component for _, component in sized]
 
 
 @dataclass(frozen=True)
@@ -162,19 +202,15 @@ def sample_quad_grid(image: np.ndarray, corners: np.ndarray, cells: int) -> np.n
     if corners.shape != (4, 2):
         raise ValueError("corners must have shape (4, 2)")
     h, w = image.shape
-    grid = np.zeros((cells, cells), dtype=float)
     top_left, top_right, bottom_right, bottom_left = corners
-    for row in range(cells):
-        v = (row + 0.5) / cells
-        left = top_left + (bottom_left - top_left) * v
-        right = top_right + (bottom_right - top_right) * v
-        for col in range(cells):
-            u = (col + 0.5) / cells
-            point = left + (right - left) * u
-            r = min(h - 1, max(0, int(round(point[0]))))
-            c = min(w - 1, max(0, int(round(point[1]))))
-            grid[row, col] = image[r, c]
-    return grid
+    v = (np.arange(cells) + 0.5) / cells
+    u = (np.arange(cells) + 0.5) / cells
+    left = top_left[None, :] + (bottom_left - top_left)[None, :] * v[:, None]
+    right = top_right[None, :] + (bottom_right - top_right)[None, :] * v[:, None]
+    points = left[:, None, :] + (right - left)[:, None, :] * u[None, :, None]
+    rows = np.clip(np.rint(points[..., 0]).astype(int), 0, h - 1)
+    cols = np.clip(np.rint(points[..., 1]).astype(int), 0, w - 1)
+    return image[rows, cols].astype(float)
 
 
 def otsu_threshold(values: np.ndarray) -> float:
@@ -214,14 +250,14 @@ def crop_patch(image: np.ndarray, center: tuple[float, float], size: int) -> np.
     patch = np.zeros((size, size), dtype=float)
     row0 = int(round(center[0] - half))
     col0 = int(round(center[1] - half))
-    for r in range(size):
-        src_r = row0 + r
-        if src_r < 0 or src_r >= h:
-            continue
-        for c in range(size):
-            src_c = col0 + c
-            if 0 <= src_c < w:
-                patch[r, c] = image[src_r, src_c]
+    r_lo = max(0, -row0)
+    r_hi = min(size, h - row0)
+    c_lo = max(0, -col0)
+    c_hi = min(size, w - col0)
+    if r_hi > r_lo and c_hi > c_lo:
+        patch[r_lo:r_hi, c_lo:c_hi] = image[
+            row0 + r_lo:row0 + r_hi, col0 + c_lo:col0 + c_hi
+        ]
     return patch
 
 

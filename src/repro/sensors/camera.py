@@ -150,21 +150,10 @@ class DownwardCamera:
         intr = self.intrinsics
         weather = world.weather
 
-        rows, cols = np.meshgrid(
-            np.arange(intr.height, dtype=float),
-            np.arange(intr.width, dtype=float),
-            indexing="ij",
-        )
         # Pixel rays in the camera frame (camera looks along -z of its frame,
-        # which is straight down when the drone is level).
-        dirs_cam = np.stack(
-            [
-                (cols - intr.cx) / intr.focal_length,
-                (rows - intr.cy) / intr.focal_length,
-                -np.ones_like(rows),
-            ],
-            axis=-1,
-        )
+        # which is straight down when the drone is level); invariant per
+        # intrinsics, so computed once and cached process-wide.
+        dirs_cam = _pixel_ray_grid(intr)
         rotation = true_pose.orientation.rotation_matrix()
         dirs_world = dirs_cam @ rotation.T
         origin = true_pose.position.to_array()
@@ -178,8 +167,26 @@ class DownwardCamera:
 
         image = self._ground_texture(ground_x, ground_y)
 
+        # Analytic footprint bound for marker culling: every ground hit lies
+        # within altitude * tan(tilt + corner FOV) of the nadir point, so
+        # markers entirely beyond that radius rasterise zero pixels and the
+        # per-pixel containment test can be skipped outright.
+        reach = None
+        altitude = origin[2] - world.ground_altitude
+        if altitude > 0.0:
+            cos_tilt = min(1.0, max(-1.0, float(rotation[2][2])))
+            view_cone = math.acos(cos_tilt) + self.max_view_angle()
+            if view_cone < _MAX_CULL_VIEW_CONE:
+                reach = altitude * math.tan(view_cone)
+
         visible: list[Marker] = []
         for marker in world.markers:
+            if reach is not None:
+                dx = marker.position.x - origin[0]
+                dy = marker.position.y - origin[1]
+                footprint = (marker.size / 2.0) * math.sqrt(2.0) + _CULL_MARGIN
+                if dx * dx + dy * dy > (reach + footprint) ** 2:
+                    continue
             drawn = self._draw_marker(image, ground_x, ground_y, marker, weather)
             if drawn:
                 visible.append(marker)
@@ -187,7 +194,7 @@ class DownwardCamera:
         # Obstacle shadows / rooftops: pixels whose ray hits an obstacle before
         # the ground show the obstacle top instead of the marker.
         image = self._mask_obstacle_pixels(
-            image, world, origin, dirs_world, t
+            image, world, origin, dirs_world, t, ground_x, ground_y
         )
 
         image = self._apply_weather(image, weather)
@@ -255,23 +262,57 @@ class DownwardCamera:
         origin: np.ndarray,
         dirs_world: np.ndarray,
         t_ground: np.ndarray,
+        ground_x: np.ndarray,
+        ground_y: np.ndarray,
     ) -> np.ndarray:
         """Replace pixels whose ray hits an obstacle before the ground.
 
-        For efficiency this checks only obstacles below the camera whose
-        bounding box the camera footprint can see, and tests the ray/AABB
-        intersection per obstacle using vectorised slab tests.
+        Obstacles are pre-culled against the hull box of the view frustum
+        (camera origin plus every ground hit): when all pixel rays reach the
+        ground, a blocking hit must lie on one of those segments, so any
+        obstacle outside the hull cannot affect a pixel.  Survivors get the
+        vectorised slab test; all block masks are OR-combined and applied in
+        one pass, which matches the sequential per-obstacle writes exactly
+        (every blocked pixel takes the same constant).
         """
+        geometry = world.geometry()
+        if not geometry.hazards:
+            return image
         camera_height = origin[2]
-        for obstacle in world.collision_obstacles():
-            box = obstacle.bounds
-            if box.minimum.z >= camera_height:
-                continue
-            t_hit = _vectorised_aabb_hit(origin, dirs_world, box)
-            blocks = (~np.isnan(t_hit)) & (np.isnan(t_ground) | (t_hit < t_ground))
-            if np.any(blocks):
-                # Rooftop / canopy intensity: darker than ground, no pattern.
-                image = np.where(blocks, 0.3, image)
+        nan_ground = np.isnan(t_ground)
+        if not nan_ground.any():
+            ground_alt = world.ground_altitude
+            hull_lo = np.array(
+                [
+                    min(origin[0], float(ground_x.min())),
+                    min(origin[1], float(ground_y.min())),
+                    min(camera_height, ground_alt),
+                ]
+            )
+            hull_hi = np.array(
+                [
+                    max(origin[0], float(ground_x.max())),
+                    max(origin[1], float(ground_y.max())),
+                    max(camera_height, ground_alt),
+                ]
+            )
+            indices = geometry.hull_obstacle_indices(hull_lo, hull_hi, camera_height)
+            candidates = [geometry.hazards[i] for i in indices]
+        else:
+            # Some rays never reach the ground; they can be blocked at any
+            # distance, so no spatial cull is sound.
+            candidates = [
+                o for o in geometry.hazards if o.bounds.minimum.z < camera_height
+            ]
+
+        blocked = None
+        for obstacle in candidates:
+            t_hit = _vectorised_aabb_hit(origin, dirs_world, obstacle.bounds)
+            blocks = (~np.isnan(t_hit)) & (nan_ground | (t_hit < t_ground))
+            blocked = blocks if blocked is None else (blocked | blocks)
+        if blocked is not None and blocked.any():
+            # Rooftop / canopy intensity: darker than ground, no pattern.
+            image = np.where(blocked, 0.3, image)
         return image
 
     def _apply_weather(self, image: np.ndarray, weather: Weather) -> np.ndarray:
@@ -283,7 +324,7 @@ class DownwardCamera:
             glare_row = self._rng.uniform(0, h)
             glare_col = self._rng.uniform(0, w)
             radius = weather.glare * 0.45 * min(h, w)
-            rows, cols = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+            rows, cols = _glare_grid(h, w)
             distance = np.sqrt((rows - glare_row) ** 2 + (cols - glare_col) ** 2)
             glare_mask = np.clip(1.0 - distance / max(radius, 1e-6), 0.0, 1.0)
             image = image + glare_mask * weather.glare * 0.9
@@ -292,13 +333,89 @@ class DownwardCamera:
             image = image + self._rng.normal(0.0, weather.image_noise, size=image.shape)
         return image
 
+    # ------------------------------------------------------------------ #
+    # fast-path support
+    # ------------------------------------------------------------------ #
+    def consume_skipped_frame_rng(self, world: World) -> None:
+        """Advance the per-frame RNG exactly as :meth:`capture` would.
+
+        The mission fast path elides rendering on frames proven to contain
+        nothing but ground texture; the weather draws still have to happen
+        (in the same order, with the same shapes) so that later frames see
+        an identical random stream.
+        """
+        self._frame_count += 1
+        weather = world.weather
+        if weather.glare > 0:
+            self._rng.uniform(0, self.intrinsics.height)
+            self._rng.uniform(0, self.intrinsics.width)
+        if weather.image_noise > 0:
+            self._rng.normal(
+                0.0,
+                weather.image_noise,
+                size=(self.intrinsics.height, self.intrinsics.width),
+            )
+
+    def max_view_angle(self) -> float:
+        """Largest angle (rad) between any pixel ray and the optical axis."""
+        intr = self.intrinsics
+        corner = math.sqrt(intr.cx**2 + intr.cy**2) / intr.focal_length
+        return math.atan(corner)
+
+
+#: Widest view cone (tilt + corner FOV, radians) the render-time marker cull
+#: reasons about; beyond this the footprint bound approaches the horizon and
+#: every marker is rasterised normally.
+_MAX_CULL_VIEW_CONE = math.radians(85.0)
+#: Slack (m) added to the cull radius; dwarfs any float rounding in the bound.
+_CULL_MARGIN = 0.25
+
+_PIXEL_GRID_CACHE: dict[CameraIntrinsics, np.ndarray] = {}
+_GLARE_GRID_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _pixel_ray_grid(intr: CameraIntrinsics) -> np.ndarray:
+    """Cached ``(H, W, 3)`` camera-frame ray directions for one intrinsics."""
+    cached = _PIXEL_GRID_CACHE.get(intr)
+    if cached is None:
+        rows, cols = np.meshgrid(
+            np.arange(intr.height, dtype=float),
+            np.arange(intr.width, dtype=float),
+            indexing="ij",
+        )
+        cached = np.stack(
+            [
+                (cols - intr.cx) / intr.focal_length,
+                (rows - intr.cy) / intr.focal_length,
+                -np.ones_like(rows),
+            ],
+            axis=-1,
+        )
+        cached.setflags(write=False)
+        _PIXEL_GRID_CACHE[intr] = cached
+    return cached
+
+
+def _glare_grid(h: int, w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached integer meshgrid used by the glare falloff."""
+    cached = _GLARE_GRID_CACHE.get((h, w))
+    if cached is None:
+        rows, cols = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+        rows.setflags(write=False)
+        cols.setflags(write=False)
+        cached = (rows, cols)
+        _GLARE_GRID_CACHE[(h, w)] = cached
+    return cached
+
 
 def _vectorised_aabb_hit(
     origin: np.ndarray, directions: np.ndarray, box
 ) -> np.ndarray:
     """Slab-test every ray in ``directions`` against one AABB.
 
-    Returns the hit distance per ray, NaN where there is no hit.
+    Returns the hit distance per ray, NaN where there is no hit.  ``fmax`` /
+    ``fmin`` chains give the same NaN-ignoring fold as ``nanmax`` / ``nanmin``
+    along the axis at a fraction of the cost.
     """
     lo = np.array([box.minimum.x, box.minimum.y, box.minimum.z])
     hi = np.array([box.maximum.x, box.maximum.y, box.maximum.z])
@@ -306,8 +423,10 @@ def _vectorised_aabb_hit(
         inv = 1.0 / directions
         t1 = (lo - origin) * inv
         t2 = (hi - origin) * inv
-    t_near = np.nanmax(np.minimum(t1, t2), axis=-1)
-    t_far = np.nanmin(np.maximum(t1, t2), axis=-1)
+    near = np.minimum(t1, t2)
+    far = np.maximum(t1, t2)
+    t_near = np.fmax(np.fmax(near[..., 0], near[..., 1]), near[..., 2])
+    t_far = np.fmin(np.fmin(far[..., 0], far[..., 1]), far[..., 2])
     hit = (t_far >= np.maximum(t_near, 0.0))
     result = np.where(hit, np.maximum(t_near, 0.0), np.nan)
     return result

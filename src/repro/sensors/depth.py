@@ -22,6 +22,31 @@ from repro.geometry import Pose, Vec3
 from repro.world.world import World
 
 
+def _rotate_rays(orientation, vectors: np.ndarray) -> np.ndarray:
+    """Rotate ``(N, 3)`` body-frame vectors into the world frame.
+
+    Replicates :meth:`repro.geometry.Quaternion.rotate` term by term — same
+    operand order, same addition association — so each row is bit-identical
+    to rotating the corresponding :class:`Vec3` individually.
+    """
+    qx, qy, qz, s = orientation.x, orientation.y, orientation.z, orientation.w
+    vx = vectors[:, 0]
+    vy = vectors[:, 1]
+    vz = vectors[:, 2]
+    dot_uv = qx * vx + qy * vy + qz * vz
+    c1 = 2.0 * dot_uv
+    c2 = s * s - (qx * qx + qy * qy + qz * qz)
+    c3 = 2.0 * s
+    cross_x = qy * vz - qz * vy
+    cross_y = qz * vx - qx * vz
+    cross_z = qx * vy - qy * vx
+    out = np.empty_like(vectors)
+    out[:, 0] = (qx * c1 + vx * c2) + cross_x * c3
+    out[:, 1] = (qy * c1 + vy * c2) + cross_y * c3
+    out[:, 2] = (qz * c1 + vz * c2) + cross_z * c3
+    return out
+
+
 @dataclass
 class PointCloud:
     """A set of 3D points in world coordinates plus capture metadata."""
@@ -80,6 +105,12 @@ class DepthCamera:
         self.depth_noise_std = depth_noise_std
         self._rng = np.random.default_rng(seed)
         self._directions_body = self._build_ray_grid()
+        self._directions_body_arr = np.array(
+            [[d.x, d.y, d.z] for d in self._directions_body], dtype=float
+        )
+        # Steepest descent rate over the grid: used by the mission fast path
+        # to prove no ray can reach the ground within range.
+        self._max_descent = float(max(0.0, -self._directions_body_arr[:, 2].min()))
 
     def _build_ray_grid(self) -> list[Vec3]:
         spec = self.spec
@@ -143,22 +174,50 @@ class DepthCamera:
         weather = world.weather
         dropout = min(0.6, 0.25 * weather.precipitation)
 
-        for direction_body in self._directions_body:
-            if dropout > 0 and self._rng.random() < dropout:
-                continue
-            direction_world = true_pose.orientation.rotate(direction_body)
-            hit = world.raycast(
-                true_pose.position,
-                direction_world,
-                self.spec.max_range,
-                visible_only_from=true_pose.position,
-            )
-            if hit is None or hit < self.spec.min_range:
-                continue
-            noisy_range = hit + float(self._rng.normal(0.0, self.depth_noise_std))
-            noisy_range = max(self.spec.min_range, noisy_range)
-            point = true_pose.position + direction_world * noisy_range
-            points.append(point + estimation_offset)
+        # All rays are rotated and cast in one numpy batch (no RNG involved);
+        # the loop below only replays the per-ray RNG draws in the exact order
+        # the scalar implementation used, so the random stream — and therefore
+        # every campaign byte — is unchanged.
+        dirs_world = _rotate_rays(true_pose.orientation, self._directions_body_arr)
+        hits = world.raycast_batch(
+            true_pose.position,
+            dirs_world,
+            self.spec.max_range,
+            visible_only_from=true_pose.position,
+        )
+
+        position = true_pose.position
+        min_range = self.spec.min_range
+        if dropout > 0:
+            # Dropout draws interleave with noise draws ray by ray, so the
+            # stream order forces a scalar loop.
+            for i in range(hits.shape[0]):
+                if self._rng.random() < dropout:
+                    continue
+                hit = float(hits[i])
+                if math.isnan(hit) or hit < min_range:
+                    continue
+                direction_world = Vec3(
+                    float(dirs_world[i, 0]), float(dirs_world[i, 1]), float(dirs_world[i, 2])
+                )
+                noisy_range = hit + float(self._rng.normal(0.0, self.depth_noise_std))
+                noisy_range = max(min_range, noisy_range)
+                point = position + direction_world * noisy_range
+                points.append(point + estimation_offset)
+        else:
+            # No dropout: only valid hits draw noise, in ray order, so one
+            # array draw consumes the identical bit stream (numpy fills
+            # arrays from the same sequential ziggurat samples).
+            valid = np.nonzero(~np.isnan(hits) & (hits >= min_range))[0]
+            if valid.size:
+                noise = self._rng.normal(0.0, self.depth_noise_std, size=valid.size)
+                ranges = np.maximum(min_range, hits[valid] + noise)
+                px = position.x + dirs_world[valid, 0] * ranges + estimation_offset.x
+                py = position.y + dirs_world[valid, 1] * ranges + estimation_offset.y
+                pz = position.z + dirs_world[valid, 2] * ranges + estimation_offset.z
+                points.extend(
+                    Vec3(float(x), float(y), float(z)) for x, y, z in zip(px, py, pz)
+                )
 
         points.extend(
             self._spurious_points(weather, estimated_pose)
@@ -168,6 +227,26 @@ class DepthCamera:
             timestamp=timestamp,
             sensor_position=estimated_pose.position,
         )
+
+    def capture_provably_empty(self, world: World, true_pose: Pose) -> bool:
+        """True when :meth:`capture` would return no points and draw no RNG.
+
+        Used by the mission fast path: a capture can be elided only when no
+        ray can reach the ground or an obstacle within range, precipitation
+        is zero (no dropout draws), and weather severity is below the
+        spurious-point threshold (no Poisson draws).  Under those conditions
+        the capture is a pure no-op and skipping it is byte-identical.
+        """
+        weather = world.weather
+        if weather.precipitation > 0:
+            return False
+        if max(weather.precipitation, weather.gps_degradation) >= 0.5:
+            return False
+        altitude = true_pose.position.z - world.ground_altitude
+        if self._max_descent * self.spec.max_range >= altitude:
+            return False
+        margin = self.spec.max_range + 1e-6
+        return world.geometry().min_hazard_distance(true_pose.position) > margin
 
     def _spurious_points(self, weather, estimated_pose: Pose) -> list[Vec3]:
         """Phantom returns caused by rain speckle / severe GPS degradation."""

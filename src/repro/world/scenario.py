@@ -217,6 +217,10 @@ class Scenario:
                 )
             )
         world.markers = markers
+        # Repeated builds of the same scenario (campaign repetitions, systems
+        # sharing a suite) produce identical worlds; keying the geometry
+        # snapshot on the content fingerprint lets them share one.
+        world.geometry_key = self.fingerprint()
         return world
 
     @staticmethod

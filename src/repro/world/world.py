@@ -29,6 +29,9 @@ class World:
         markers: landing markers (one target plus decoys).
         weather: ambient weather for the scenario being run.
         ground_altitude: z of flat ground (always 0 in the generated maps).
+        geometry_key: optional content key (``Scenario.fingerprint()``) that
+            lets :meth:`geometry` reuse one cached snapshot across repeated
+            builds of the same scenario.
     """
 
     name: str
@@ -37,6 +40,17 @@ class World:
     markers: list[Marker] = field(default_factory=list)
     weather: Weather = field(default_factory=Weather.clear)
     ground_altitude: float = 0.0
+    geometry_key: str | None = None
+
+    def geometry(self):
+        """Batched numpy snapshot of the static geometry (cached).
+
+        See :mod:`repro.world.static_geometry`; the snapshot is rebuilt when
+        the obstacle or marker counts change.
+        """
+        from repro.world.static_geometry import geometry_for_world
+
+        return geometry_for_world(self)
 
     # ------------------------------------------------------------------ #
     # markers
@@ -63,17 +77,11 @@ class World:
         """True if ``point`` (plus margin) is inside any solid obstacle."""
         if point.z <= self.ground_altitude - 1e-6:
             return True
-        for obstacle in self.obstacles:
-            if obstacle.is_collision_hazard and obstacle.contains(point, margin):
-                return True
-        return False
+        return self.geometry().colliding_obstacle(point, margin) is not None
 
     def colliding_obstacle(self, point: Vec3, margin: float = 0.0) -> Optional[Obstacle]:
         """The first obstacle in collision with ``point``, or ``None``."""
-        for obstacle in self.obstacles:
-            if obstacle.is_collision_hazard and obstacle.contains(point, margin):
-                return obstacle
-        return None
+        return self.geometry().colliding_obstacle(point, margin)
 
     def segment_in_collision(self, start: Vec3, end: Vec3, margin: float = 0.0) -> bool:
         """True if the straight segment intersects any solid obstacle."""
@@ -136,6 +144,24 @@ class World:
             if hit is not None and (best is None or hit < best):
                 best = hit
         return best
+
+    def raycast_batch(
+        self,
+        origin: Vec3,
+        directions,
+        max_range: float,
+        visible_only_from: Optional[Vec3] = None,
+    ):
+        """Batched :meth:`raycast` over an ``(N, 3)`` direction array.
+
+        Returns an ``(N,)`` float array with NaN where a scalar raycast would
+        return ``None``; results are bit-identical to calling :meth:`raycast`
+        per row (see :mod:`repro.world.static_geometry`).
+        """
+        reference = visible_only_from if visible_only_from is not None else origin
+        return self.geometry().raycast_batch(
+            origin, directions, max_range, self.ground_altitude, reference
+        )
 
     # ------------------------------------------------------------------ #
     # landing surface queries

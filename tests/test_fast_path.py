@@ -1,0 +1,168 @@
+"""Tests for the tick-skip fast path (``MissionConfig.fast_path``).
+
+The fast path elides camera renders, detector calls and depth ray casts on
+ticks that provably cannot change the plan.  Its whole contract is *byte
+identity*: a mission run with the fast path on must produce a RunRecord
+indistinguishable from the slow path, RNG streams included, and it must
+disable itself entirely under fault injection.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import mls_v1
+from repro.core.mission import MissionConfig, MissionRunner
+from repro.faults.harness import FaultHarness
+from repro.faults.spec import FaultSpec
+from repro.geometry import AABB, Pose, Vec3
+from repro.sensors.camera import DownwardCamera
+from repro.sensors.depth import DepthCamera
+from repro.world.markers import Marker
+from repro.world.weather import Weather, WeatherCondition
+from repro.world.world import World
+from repro.world.scenario_gen import generate_suite
+
+
+def _record_json(record):
+    return json.dumps(record.to_dict(), sort_keys=True)
+
+
+def _run(scenario, **config_kwargs):
+    return MissionRunner(
+        scenario, mls_v1(), mission_config=MissionConfig(**config_kwargs)
+    ).run()
+
+
+def _blank_world() -> World:
+    """A world whose camera frames are provably pure ground texture."""
+    return World(
+        name="blank",
+        bounds=AABB(Vec3(-600.0, -600.0, 0.0), Vec3(600.0, 600.0, 120.0)),
+        markers=[Marker(marker_id=3, position=Vec3(500.0, 500.0, 0.0))],
+        weather=Weather(condition=WeatherCondition.CLEAR, image_noise=0.0),
+    )
+
+
+# --------------------------------------------------------------------- #
+# end-to-end byte identity
+# --------------------------------------------------------------------- #
+class TestRunRecordByteIdentity:
+    def test_fast_path_records_match_slow_path(self):
+        # The whole smoke preset: one clear and one adverse scenario, so both
+        # the skip-heavy cruise segments and the never-skip weather are hit.
+        suite = generate_suite("smoke", count=2, seed=7)
+        for scenario in suite.scenarios:
+            fast = _run(scenario, fast_path=True)
+            slow = _run(scenario, fast_path=False)
+            assert _record_json(fast) == _record_json(slow), (
+                f"fast path diverged on {scenario.scenario_id}"
+            )
+
+    def test_fast_path_disabled_under_fault_harness(self):
+        # A dropped-frame fault must behave identically whether or not the
+        # config asks for the fast path — the harness always forces it off.
+        scenario = generate_suite("smoke", seed=7).scenarios[0]
+        records = {}
+        for fast_path in (True, False):
+            harness = FaultHarness(
+                [
+                    FaultSpec(
+                        target="camera", mode="dropout", severity=1.0,
+                        start=0.0, duration=None,
+                    )
+                ],
+                scenario_fingerprint=scenario.fingerprint(),
+            )
+            runner = MissionRunner(
+                scenario, mls_v1(),
+                mission_config=MissionConfig(
+                    max_mission_time=20.0, fast_path=fast_path
+                ),
+                fault_harness=harness,
+            )
+            records[fast_path] = runner.run()
+            # Every frame was dropped, so the final decision tick must have
+            # charged zero detection cost — the fast path never substituted
+            # its nominal-latency skip for the dropped frame.
+            assert runner.system.last_timings.detection == 0.0
+        assert _record_json(records[True]) == _record_json(records[False])
+
+
+# --------------------------------------------------------------------- #
+# skip-predicate guards
+# --------------------------------------------------------------------- #
+class TestFrameBlankPredicate:
+    def _runner(self, scenario=None):
+        scenario = scenario or generate_suite("smoke", seed=7).scenarios[0]
+        return MissionRunner(scenario, mls_v1())
+
+    def test_low_altitude_never_skips(self):
+        runner = self._runner()
+        runner.world = _blank_world()
+        pose = Pose.at(Vec3(0.0, 0.0, 0.4))
+        assert not runner._frame_provably_blank(
+            pose, runner.camera.max_view_angle()
+        )
+
+    def test_image_structure_never_skips(self):
+        runner = self._runner()
+        runner.world = World(
+            name="noisy",
+            bounds=AABB(Vec3(-100.0, -100.0, 0.0), Vec3(100.0, 100.0, 120.0)),
+            weather=Weather(condition=WeatherCondition.CLEAR),
+        )
+        # Default clear weather carries image_noise=0.01: RNG is consumed per
+        # pixel, so the frame is never provably blank.
+        pose = Pose.at(Vec3(0.0, 0.0, 20.0))
+        assert not runner._frame_provably_blank(
+            pose, runner.camera.max_view_angle()
+        )
+
+    def test_marker_in_reach_never_skips(self):
+        runner = self._runner()
+        world = _blank_world()
+        runner.world = world
+        above = Pose.at(Vec3(500.0, 500.0, 20.0))
+        far = Pose.at(Vec3(0.0, 0.0, 20.0))
+        angle = runner.camera.max_view_angle()
+        assert not runner._frame_provably_blank(above, angle)
+        assert runner._frame_provably_blank(far, angle)
+
+
+# --------------------------------------------------------------------- #
+# RNG-stream equivalence of the skip primitives
+# --------------------------------------------------------------------- #
+class TestSkipPrimitives:
+    def test_consume_skipped_frame_rng_matches_blank_capture(self):
+        world = _blank_world()
+        pose = Pose.at(Vec3(0.0, 0.0, 20.0))
+        rendered = DownwardCamera(seed=5)
+        skipped = DownwardCamera(seed=5)
+
+        frame = rendered.capture(world, pose, timestamp=1.0)
+        skipped.consume_skipped_frame_rng(world)
+
+        assert rendered._frame_count == skipped._frame_count
+        assert (
+            rendered._rng.bit_generator.state == skipped._rng.bit_generator.state
+        )
+
+    def test_capture_provably_empty_implies_empty_capture(self):
+        world = _blank_world()
+        pose = Pose.at(Vec3(0.0, 0.0, 40.0))
+        camera = DepthCamera(facing="forward", seed=9)
+        assert camera.capture_provably_empty(world, pose)
+
+        state_before = camera._rng.bit_generator.state
+        cloud = camera.capture(world, pose, timestamp=1.0)
+        assert cloud.points == []
+        assert camera._rng.bit_generator.state == state_before
+
+    def test_capture_not_provably_empty_when_ground_in_range(self):
+        world = _blank_world()
+        # 5 m up: the downward grid reaches the ground well within range.
+        pose = Pose.at(Vec3(0.0, 0.0, 5.0))
+        camera = DepthCamera(facing="down", seed=9)
+        assert not camera.capture_provably_empty(world, pose)
+        assert camera.capture(world, pose, timestamp=1.0).points

@@ -1,0 +1,181 @@
+"""Tests for the perf-smoke regression gate (``repro.bench.perfgate``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perfgate import (
+    check_meters,
+    load_baseline,
+    load_results_meters,
+    main,
+    render_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_results(path: Path, runs_per_s: float = 1.0) -> None:
+    payload = {
+        "schema": 2,
+        "suites": {
+            "campaign_throughput": [
+                {
+                    "name": "campaign_serial",
+                    "runs": 2.0,
+                    "seconds": 2.0 / runs_per_s,
+                    "runs_per_s": runs_per_s,
+                }
+            ]
+        },
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def write_baseline(path: Path, floor: float = 0.5, tolerance: float = 0.2) -> None:
+    payload = {
+        "schema": 1,
+        "tolerance": tolerance,
+        "meters": {"campaign_throughput/campaign_serial/runs_per_s": floor},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestLoaders:
+    def test_results_flatten_to_slash_keys(self, tmp_path):
+        write_results(tmp_path / "r.json", runs_per_s=0.8)
+        meters = load_results_meters(tmp_path / "r.json")
+        assert meters["campaign_throughput/campaign_serial/runs_per_s"] == 0.8
+        assert meters["campaign_throughput/campaign_serial/runs"] == 2.0
+
+    def test_baseline_rejects_unknown_schema(self, tmp_path):
+        (tmp_path / "b.json").write_text('{"schema": 99, "meters": {"a": 1}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(tmp_path / "b.json")
+
+    def test_baseline_rejects_empty_meters(self, tmp_path):
+        (tmp_path / "b.json").write_text('{"schema": 1, "meters": {}}')
+        with pytest.raises(ValueError, match="no meters"):
+            load_baseline(tmp_path / "b.json")
+
+
+class TestCheck:
+    def test_within_tolerance_passes(self):
+        checks = check_meters({"m/a/x": 0.45}, {"m/a/x": 0.5}, tolerance=0.2)
+        assert all(check.passed for check in checks)
+
+    def test_regression_beyond_tolerance_fails(self):
+        checks = check_meters({"m/a/x": 0.39}, {"m/a/x": 0.5}, tolerance=0.2)
+        assert not checks[0].passed
+
+    def test_missing_meter_fails(self):
+        checks = check_meters({}, {"m/a/x": 0.5}, tolerance=0.2)
+        assert not checks[0].passed
+        assert "missing" in checks[0].describe()
+
+    def test_report_mentions_failures(self):
+        checks = check_meters({"m/a/x": 0.1}, {"m/a/x": 0.5}, tolerance=0.2)
+        report = render_report(checks, 0.2)
+        assert "regressed beyond tolerance" in report
+
+
+class TestCli:
+    def test_check_exit_codes_and_report(self, tmp_path):
+        write_results(tmp_path / "r.json", runs_per_s=0.6)
+        write_baseline(tmp_path / "b.json", floor=0.5)
+        args = [
+            "check",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+            "--report", str(tmp_path / "report.md"),
+        ]
+        assert main(args) == 0
+        assert "All meters within tolerance" in (tmp_path / "report.md").read_text()
+
+        write_results(tmp_path / "r.json", runs_per_s=0.1)
+        assert main(args) == 1
+
+    def test_baseline_refreshes_floors_with_headroom(self, tmp_path):
+        write_results(tmp_path / "r.json", runs_per_s=1.0)
+        write_baseline(tmp_path / "b.json", floor=0.123)
+        assert main([
+            "baseline",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+            "--headroom", "0.5",
+        ]) == 0
+        floors, tolerance = load_baseline(tmp_path / "b.json")
+        assert floors == {"campaign_throughput/campaign_serial/runs_per_s": 0.5}
+        assert tolerance == 0.2
+
+    def test_baseline_refuses_missing_meter(self, tmp_path, capsys):
+        (tmp_path / "r.json").write_text('{"schema": 2, "suites": {}}')
+        write_baseline(tmp_path / "b.json")
+        assert main([
+            "baseline",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+        ]) == 1
+        assert "missing" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    def test_committed_perf_smoke_baseline_is_loadable(self):
+        path = REPO_ROOT / "baselines" / "perf-smoke" / "throughput.json"
+        floors, tolerance = load_baseline(path)
+        assert "campaign_throughput/campaign_serial/runs_per_s" in floors
+        assert 0.0 <= tolerance < 1.0
+
+
+# --------------------------------------------------------------------- #
+# benchmarks/conftest.py merge-on-write pruning
+# --------------------------------------------------------------------- #
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", REPO_ROOT / "benchmarks" / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestStaleSuitePruning:
+    def test_deleted_module_suite_is_dropped(self):
+        conftest = _load_bench_conftest()
+        suites = {
+            "campaign_throughput": {"campaign_serial": {"runs_per_s": 1.0}},
+            "no_such_module": {"test_gone": {"mean_s": 1.0}},
+        }
+        pruned = conftest._prune_stale_suites(suites)
+        assert "campaign_throughput" in pruned
+        assert "no_such_module" not in pruned
+
+    def test_renamed_bench_function_is_dropped(self):
+        conftest = _load_bench_conftest()
+        suites = {
+            "campaign_throughput": {
+                "test_campaign_throughput_serial_parallel_dispatched": {"m": 1.0},
+                "test_this_function_was_renamed": {"mean_s": 1.0},
+                "campaign_serial": {"runs_per_s": 1.0},
+            }
+        }
+        pruned = conftest._prune_stale_suites(suites)
+        kept = set(pruned["campaign_throughput"])
+        assert "test_campaign_throughput_serial_parallel_dispatched" in kept
+        assert "test_this_function_was_renamed" not in kept
+        # Custom-named meters live and die with their module, not a function.
+        assert "campaign_serial" in kept
+
+    def test_parametrized_node_names_match_their_function(self):
+        conftest = _load_bench_conftest()
+        suites = {
+            "campaign_throughput": {
+                "test_batched_projection_rate[smoke]": {"mean_s": 1.0}
+            }
+        }
+        pruned = conftest._prune_stale_suites(suites)
+        assert pruned == suites
