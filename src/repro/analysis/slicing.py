@@ -67,6 +67,21 @@ def obstacle_band(density: float) -> str:
     return "dense (>=1.3)"
 
 
+def severity_band(severity: float) -> str:
+    """Quartile banding of an injected fault's severity (0..1).
+
+    Quartiles align with the default sweep ladders (dyadic rungs), so a
+    severity sweep slices cleanly into the four bands.
+    """
+    if severity < 0.25:
+        return "mild (<0.25)"
+    if severity < 0.5:
+        return "moderate (0.25-0.5)"
+    if severity < 0.75:
+        return "severe (0.5-0.75)"
+    return "extreme (>=0.75)"
+
+
 # ---------------------------------------------------------------------- #
 # the scenario join
 # ---------------------------------------------------------------------- #
@@ -187,6 +202,18 @@ def _activated_fault_labels(record: RunRecord, key: str) -> tuple[str, ...]:
     return labels or (NO_FAULT,)
 
 
+def _fault_severity_bands(record: RunRecord) -> tuple[str, ...]:
+    """Severity bands of the record's activated faults (from the persisted
+    per-fault metadata, so sweeps slice without needing the fault plan)."""
+    bands = set()
+    for fault in activated_faults(record):
+        severity = fault.get("severity")
+        bands.add(
+            severity_band(float(severity)) if severity is not None else "(unknown)"
+        )
+    return tuple(sorted(bands)) or (NO_FAULT,)
+
+
 #: Every registered factor.  Record-level accessors are lifted from
 #: ``repro.core.metrics.RECORD_FACTORS``; the rest need the scenario join
 #: (label ``(unjoined)`` when no suite provided the scenario) or the
@@ -213,6 +240,7 @@ FACTORS: dict[str, FactorFn] = {
     # slice per *activated* injected fault, so overlapping faults fan out.
     "fault": lambda context: _activated_fault_labels(context.record, "name"),
     "fault-target": lambda context: _activated_fault_labels(context.record, "target"),
+    "fault-severity-band": lambda context: _fault_severity_bands(context.record),
     "failure-mode": lambda context: (failure_mode_label(context.record),),
 }
 

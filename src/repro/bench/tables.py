@@ -21,6 +21,16 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def format_percent(value: float) -> str:
+    """``0.5 -> "50.0%"``; NaN renders as ``n/a`` (no data, not zero).
+
+    The one percent formatter for every byte-stable report (coverage,
+    sweep curves): a single rounding rule keeps committed baselines from
+    drifting when a renderer moves between modules.
+    """
+    return "n/a" if value != value else f"{100.0 * value:.1f}%"
+
+
 def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """GitHub-flavoured markdown table (byte-stable: pure function of input).
 

@@ -59,6 +59,17 @@ _LAZY_EXPORTS = {
     "accumulate_coverage": ("repro.faults.coverage", "accumulate_coverage"),
     "render_coverage_report": ("repro.faults.coverage", "render_coverage_report"),
     "render_coverage_section": ("repro.faults.coverage", "render_coverage_section"),
+    # Fault-space search engine (sweeps + severity bisection); lazy for the
+    # same reason as the harness: the backends pull in the dispatch/bench
+    # stacks.
+    "DispatchProbeBackend": ("repro.faults.search", "DispatchProbeBackend"),
+    "ServiceProbeBackend": ("repro.faults.search", "ServiceProbeBackend"),
+    "Probe": ("repro.faults.search", "Probe"),
+    "CurvePoint": ("repro.faults.search", "CurvePoint"),
+    "BisectionResult": ("repro.faults.search", "BisectionResult"),
+    "bisect_severity": ("repro.faults.search", "bisect_severity"),
+    "run_sweep": ("repro.faults.search", "run_sweep"),
+    "severity_ladder": ("repro.faults.search", "severity_ladder"),
 }
 
 
@@ -80,7 +91,12 @@ __all__ = [
     "FAILURE_MODE_ORDER",
     "FAULT_MODES",
     "FAULT_PRESETS",
+    "BisectionResult",
     "CoverageReport",
+    "CurvePoint",
+    "DispatchProbeBackend",
+    "Probe",
+    "ServiceProbeBackend",
     "FailureClassifier",
     "FailureMode",
     "FaultCoverage",
@@ -89,6 +105,7 @@ __all__ = [
     "FaultyDetector",
     "FaultyPlanner",
     "accumulate_coverage",
+    "bisect_severity",
     "classify_record",
     "dump_fault_plan",
     "failure_mode_label",
@@ -99,4 +116,6 @@ __all__ = [
     "render_coverage_report",
     "render_coverage_section",
     "resolve_faults",
+    "run_sweep",
+    "severity_ladder",
 ]

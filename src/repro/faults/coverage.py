@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from repro.bench.tables import format_markdown_table
+from repro.bench.tables import format_markdown_table, format_percent
 from repro.core.metrics import RunRecord
 from repro.faults.classifier import (
     FAILURE_MODE_ORDER,
@@ -128,8 +128,9 @@ def accumulate_coverage(records: Iterable[RunRecord]) -> CoverageReport:
     return report
 
 
-def _percent(value: float) -> str:
-    return "n/a" if value != value else f"{100.0 * value:.1f}%"
+#: Backwards-compatible alias; the shared formatter lives in bench.tables so
+#: the sweep-curve renderers round identically to the coverage report.
+_percent = format_percent
 
 
 def render_coverage_section(report: CoverageReport) -> str:

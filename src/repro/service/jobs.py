@@ -38,10 +38,12 @@ from repro.dispatch.planner import build_plan, merged_dir, plan_dispatch, write_
 from repro.dispatch.queue import ShardQueue
 from repro.faults.spec import FaultSpec
 from repro.world.scenario_gen import PRESET_NAMES, SuiteSpec, generate_suite
+from repro.world.scenario_suite import ScenarioSuite
 from repro.world.spec_validation import (
     SpecIssue,
     SpecValidationError,
     validate_fault_axis,
+    validate_inline_suite,
     validate_suite_spec,
 )
 
@@ -57,7 +59,7 @@ DEFAULT_SHARDS = 2
 #: Submission payload keys the intake accepts (anything else is an error, so
 #: a typo like ``"repetition"`` cannot silently fall back to a default).
 SUBMISSION_FIELDS = {
-    "spec", "preset", "count", "seed", "repetitions",
+    "spec", "preset", "suite", "count", "seed", "repetitions",
     "systems", "shards", "platform", "faults",
 }
 
@@ -94,11 +96,23 @@ class Job:
         return ShardQueue(self.dispatch_dir)
 
 
-def _intake_suite(payload: dict[str, Any], issues: list[SpecIssue]) -> SuiteSpec | str | None:
-    """The suite axis of a submission: an inline SuiteSpec or a preset name."""
-    if "spec" in payload and "preset" in payload:
-        issues.append(SpecIssue("spec", "give either 'spec' or 'preset', not both"))
+def _intake_suite(payload: dict[str, Any], issues: list[SpecIssue]) -> Any:
+    """The suite axis of a submission: an inline SuiteSpec, an inline
+    concrete suite (``"suite"``: explicit scenario objects, the fault-space
+    search engine's probe surface) or a preset name."""
+    given = [key for key in ("spec", "preset", "suite") if key in payload]
+    if len(given) > 1:
+        issues.append(
+            SpecIssue(given[0], f"give exactly one of 'spec', 'preset' or "
+                                f"'suite', got {given}")
+        )
         return None
+    if "suite" in payload:
+        try:
+            return validate_inline_suite(payload["suite"])
+        except SpecValidationError as error:
+            issues.extend(error.issues)
+            return None
     if "spec" in payload:
         try:
             # Submission surface: fault axes inside the spec must be inline
@@ -189,6 +203,13 @@ def validate_submission(payload: Any) -> Submission:
     repetitions = _intake_int(payload, "repetitions", None, issues)
     count = _intake_int(payload, "count", None, issues)
     seed = _intake_int(payload, "seed", None, issues, minimum=0)
+    if "suite" in payload:
+        for key in ("count", "seed"):
+            if key in payload:
+                issues.append(
+                    SpecIssue(key, "not applicable with an inline 'suite' "
+                                   "(its scenarios are already concrete)")
+                )
 
     platform = payload.get("platform", "desktop")
     if platform not in PLATFORM_FACTORIES:
@@ -207,7 +228,10 @@ def validate_submission(payload: Any) -> Submission:
     if issues or spec is None:
         raise SpecValidationError(issues, subject="submission")
 
-    suite = generate_suite(spec, count=count, seed=seed, repetitions=repetitions)
+    if isinstance(spec, ScenarioSuite):
+        suite = spec
+    else:
+        suite = generate_suite(spec, count=count, seed=seed, repetitions=repetitions)
     if faults is None:
         faults = tuple(spec.faults) if isinstance(spec, SuiteSpec) else ()
     return Submission(

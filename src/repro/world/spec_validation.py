@@ -197,6 +197,82 @@ def validate_suite_spec(data: Any, *, allow_fault_paths: bool = True) -> SuiteSp
         raise SpecValidationError([SpecIssue("", str(error))]) from error
 
 
+#: Keys an inline ``"suite"`` submission object may carry (mirrors the
+#: scenario-suite JSONL header plus the scenario list itself).
+_INLINE_SUITE_FIELDS = {"name", "repetitions", "scenarios"}
+
+
+def validate_inline_suite(data: Any, *, field: str = "suite"):
+    """Validate an inline scenario-suite submission; returns a ScenarioSuite.
+
+    The submission-surface twin of ``ScenarioSuite.from_jsonl``: instead of
+    generating scenarios from a spec server-side, the client ships concrete
+    ``Scenario.to_dict()`` objects (the fault-space search engine submits
+    probe sub-suites this way).  Raises :class:`SpecValidationError` with
+    one issue per problem.
+    """
+    from repro.world.scenario import Scenario
+    from repro.world.scenario_suite import ScenarioSuite
+
+    issues: list[SpecIssue] = []
+    if not isinstance(data, dict):
+        raise SpecValidationError(
+            [SpecIssue(field, f"expected a suite object, got {type(data).__name__}")],
+            subject="inline suite",
+        )
+    for key in sorted(set(data) - _INLINE_SUITE_FIELDS):
+        issues.append(SpecIssue(f"{field}.{key}", "unknown suite field"))
+    name = data.get("name", "")
+    if not isinstance(name, str):
+        issues.append(
+            SpecIssue(f"{field}.name", f"expected a string, got {type(name).__name__}")
+        )
+        name = ""
+    repetitions = data.get("repetitions", 1)
+    if isinstance(repetitions, bool) or not isinstance(repetitions, int):
+        issues.append(
+            SpecIssue(
+                f"{field}.repetitions",
+                f"expected an integer, got {type(repetitions).__name__}",
+            )
+        )
+        repetitions = 1
+    elif repetitions <= 0:
+        issues.append(
+            SpecIssue(f"{field}.repetitions", f"must be positive, got {repetitions}")
+        )
+        repetitions = 1
+    raw_scenarios = data.get("scenarios")
+    scenarios: list[Any] = []
+    if not isinstance(raw_scenarios, list) or not raw_scenarios:
+        issues.append(
+            SpecIssue(f"{field}.scenarios", "expected a non-empty list of scenarios")
+        )
+    else:
+        for index, item in enumerate(raw_scenarios):
+            if not isinstance(item, dict):
+                issues.append(
+                    SpecIssue(
+                        f"{field}.scenarios[{index}]",
+                        f"expected a Scenario object, got {type(item).__name__}",
+                    )
+                )
+                continue
+            try:
+                scenarios.append(Scenario.from_dict(item))
+            except (ValueError, KeyError, TypeError) as error:
+                issues.append(SpecIssue(f"{field}.scenarios[{index}]", str(error)))
+        ids = [scenario.scenario_id for scenario in scenarios]
+        duplicates = sorted({sid for sid in ids if ids.count(sid) > 1})
+        if duplicates:
+            issues.append(
+                SpecIssue(f"{field}.scenarios", f"duplicate scenario ids {duplicates}")
+            )
+    if issues:
+        raise SpecValidationError(issues, subject="inline suite")
+    return ScenarioSuite(scenarios=scenarios, repetitions=repetitions, name=name)
+
+
 def load_suite_spec(path: str | Path) -> SuiteSpec:
     """Read and validate a SuiteSpec JSON file (the ``--spec`` file format)."""
     path = Path(path)

@@ -101,7 +101,7 @@ class TestSubmissionValidation:
             validate_submission({**SUBMISSION, "faults": "plans/evil.json"})
 
     def test_spec_and_preset_are_exclusive(self):
-        with pytest.raises(SpecValidationError, match="not both"):
+        with pytest.raises(SpecValidationError, match="exactly one"):
             validate_submission({"preset": "smoke", "spec": {"count": 1}})
 
     def test_inline_spec_issues_are_prefixed(self):
