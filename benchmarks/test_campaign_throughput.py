@@ -77,6 +77,50 @@ def test_campaign_throughput_serial_parallel_dispatched(bench_results, tmp_path)
         )
 
 
+def test_traced_campaign_overhead_under_5_percent(bench_results, tmp_path):
+    """Flight-recorder tracing must stay within 5% of an untraced campaign.
+
+    Tracing sits on the same per-tick hot path as the fault-harness hooks,
+    so it gets the same bound PR 5 put on a no-op harness: best-of timing
+    (robust on shared runners), identical record dicts asserted, and the
+    traced throughput recorded for the perfgate trajectory.
+    """
+    rounds = 3
+    baseline_results, baseline_s = None, float("inf")
+    traced_results, traced_s = None, float("inf")
+    for round_index in range(rounds):
+        baseline_results, elapsed = _timed(lambda: _campaign().run())
+        baseline_s = min(baseline_s, elapsed)
+        trace_dir = tmp_path / f"trace-{round_index}"
+        traced_results, elapsed = _timed(
+            lambda: _campaign().trace(trace_dir).run()
+        )
+        traced_s = min(traced_s, elapsed)
+
+    for name, reference in baseline_results.items():
+        assert _record_dicts(traced_results[name]) == _record_dicts(reference), (
+            f"tracing changed campaign outcomes for {name}"
+        )
+    trace_file = tmp_path / "trace-0" / "MLS-V1.trace.jsonl"
+    assert trace_file.exists()
+    assert len(trace_file.read_text().splitlines()) == 1 + SUITE_COUNT
+
+    runs = sum(len(result) for result in traced_results.values())
+    overhead = traced_s / baseline_s - 1.0
+    bench_results(
+        "campaign_traced",
+        runs=float(runs),
+        seconds=traced_s,
+        runs_per_s=runs / traced_s,
+        overhead_fraction=overhead,
+    )
+    assert overhead < 0.05, (
+        f"flight-recorder tracing costs {100.0 * overhead:.1f}% over an untraced "
+        f"campaign ({traced_s:.2f}s vs {baseline_s:.2f}s); tracing must stay "
+        f"under 5%"
+    )
+
+
 def test_batched_projection_rate(bench_results):
     """Pixel -> ground projection rate of the vectorized camera front end.
 

@@ -153,6 +153,12 @@ class CampaignJob:
     #: Fault specs to inject into this run (see :mod:`repro.faults`); plain
     #: frozen dataclasses, so jobs stay picklable for ``.parallel()``.
     faults: tuple[FaultSpec, ...] = ()
+    #: Directory receiving flight-trace summaries (``Campaign.trace(...)``),
+    #: or ``None``.  Strictly a side channel: it is excluded from every
+    #: content fingerprint, and the ``REPRO_TRACE_DIR`` environment variable
+    #: fills it in for execution modes that do not ship jobs (dispatch
+    #: workers on other machines).
+    trace_dir: str | None = None
 
 
 _worker_network = None
@@ -169,7 +175,14 @@ def _shared_network():
 def _execute_job(job: CampaignJob) -> RunRecord:
     """Run one campaign job; used both in-process and in worker processes."""
     from repro.core.registry import ComponentError
+    from repro.obs.metrics import METRICS
 
+    trace_dir = job.trace_dir or os.environ.get("REPRO_TRACE_DIR") or None
+    recorder = None
+    if trace_dir:
+        from repro.obs.trace import FlightRecorder
+
+        recorder = FlightRecorder()
     network = _shared_network() if job.needs_network else None
     harness = None
     if job.faults:
@@ -190,6 +203,7 @@ def _execute_job(job: CampaignJob) -> RunRecord:
             platform=_resolve_platform_factory(job.platform)(),
             detector_network=network,
             fault_harness=harness,
+            recorder=recorder,
         )
     except ComponentError as error:
         raise ComponentError(
@@ -199,6 +213,47 @@ def _execute_job(job: CampaignJob) -> RunRecord:
         ) from error
     record = runner.run()
     record.repetition = job.repetition
+    # Observability side channel: per-run metrics and the optional trace
+    # summary.  Nothing below reads back into the record, so the persisted
+    # bytes are identical with or without it.
+    METRICS.counter(
+        "repro_runs_total", "Completed mission runs by system and outcome."
+    ).inc(system=job.system.name, outcome=record.outcome.value)
+    if record.failure_mode:
+        METRICS.counter(
+            "repro_failure_mode_total", "Runs by classified failure mode."
+        ).inc(system=job.system.name, mode=record.failure_mode)
+    METRICS.counter(
+        "repro_frames_total", "Camera decision ticks by frame handling."
+    ).inc(runner.frames_rendered, system=job.system.name, mode="rendered")
+    METRICS.counter(
+        "repro_frames_total", "Camera decision ticks by frame handling."
+    ).inc(runner.frames_skipped, system=job.system.name, mode="skipped")
+    METRICS.counter(
+        "repro_depth_captures_total", "Depth ticks by capture handling."
+    ).inc(runner.depth_captures, system=job.system.name, mode="captured")
+    METRICS.counter(
+        "repro_depth_captures_total", "Depth ticks by capture handling."
+    ).inc(runner.depth_skipped, system=job.system.name, mode="skipped")
+    METRICS.histogram(
+        "repro_mission_seconds", "Simulated mission duration per run."
+    ).observe(record.mission_time, system=job.system.name)
+    if recorder is not None:
+        recorder.count("frames-rendered", runner.frames_rendered)
+        recorder.count("frames-skipped", runner.frames_skipped)
+        recorder.count("frames-lost", runner.frames_lost)
+        recorder.count("depth-captures", runner.depth_captures)
+        recorder.count("depth-skipped", runner.depth_skipped)
+        recorder.count("clouds-lost", runner.clouds_lost)
+        from repro.obs.trace import append_trace_summary
+
+        append_trace_summary(
+            trace_dir,
+            recorder,
+            system=job.system.name,
+            scenario_id=job.scenario.scenario_id,
+            repetition=job.repetition,
+        )
     return record
 
 
@@ -280,6 +335,7 @@ class Campaign:
         self._seed_override: int | None = None
         self._progress: Callable[[str], None] | None = None
         self._out: Path | None = None
+        self._trace: Path | None = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -367,6 +423,19 @@ class Campaign:
         self._out = Path(directory) if directory is not None else None
         return self
 
+    def trace(self, directory: str | Path | None) -> "Campaign":
+        """Stream per-run flight-trace summaries under ``directory``.
+
+        Every run appends one per-phase timing summary to
+        ``<directory>/<system>.trace.jsonl`` (see :mod:`repro.obs.trace`).
+        Tracing is strictly a side channel — it is excluded from the campaign
+        context fingerprint and provably cannot change a record byte, so a
+        traced campaign resumes against (and ``cmp``-matches) an untraced
+        one.  Render the breakdown with ``python -m repro.obs report``.
+        """
+        self._trace = Path(directory) if directory is not None else None
+        return self
+
     def scenarios(self, count: int) -> "Campaign":
         """Evaluate on a ``count``-scenario subset of the evaluation suite."""
         if count <= 0:
@@ -450,6 +519,7 @@ class Campaign:
                             platform=self._platform,
                             needs_network=needs_network,
                             faults=faults,
+                            trace_dir=str(self._trace) if self._trace is not None else None,
                         )
                     )
                     index += 1
@@ -652,11 +722,24 @@ class Campaign:
             platform=self._platform,
             faults=self._resolved_faults(),
         )
-        run_local_workers(
-            directory,
-            workers=workers if workers is not None else max(self._workers, 1),
-            lease_seconds=lease_seconds,
-        )
+        # Dispatch does not ship jobs, so tracing travels by environment:
+        # local worker processes inherit REPRO_TRACE_DIR at spawn (workers
+        # on other machines set it themselves).
+        previous_trace = os.environ.get("REPRO_TRACE_DIR")
+        if self._trace is not None:
+            os.environ["REPRO_TRACE_DIR"] = str(self._trace)
+        try:
+            run_local_workers(
+                directory,
+                workers=workers if workers is not None else max(self._workers, 1),
+                lease_seconds=lease_seconds,
+            )
+        finally:
+            if self._trace is not None:
+                if previous_trace is None:
+                    os.environ.pop("REPRO_TRACE_DIR", None)
+                else:
+                    os.environ["REPRO_TRACE_DIR"] = previous_trace
         merge_dispatch(directory)
         return load_merged(directory)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.core.commands import Command, CommandKind
@@ -28,6 +29,7 @@ from repro.world.world import World
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.harness import FaultHarness
+    from repro.obs.trace import FlightRecorder
 
 
 @dataclass
@@ -76,6 +78,7 @@ class MissionRunner:
         world: World | None = None,
         record_trace: bool = False,
         fault_harness: "FaultHarness | None" = None,
+        recorder: "FlightRecorder | None" = None,
     ) -> None:
         self.scenario = scenario
         self.system_config = system_config
@@ -85,6 +88,18 @@ class MissionRunner:
         self.record_trace = record_trace
         self.trace = MissionDebugTrace()
         self.fault_harness = fault_harness
+        #: Optional flight recorder (see :mod:`repro.obs.trace`).  Strictly a
+        #: side channel: it only ever receives wall-clock span durations and
+        #: event counts, so attaching one cannot change a single record byte.
+        self.recorder = recorder
+        # Fast-path bookkeeping (always on — plain int increments): the
+        # skip-rate figures exported as metrics and trace counters.
+        self.frames_rendered = 0
+        self.frames_skipped = 0
+        self.frames_lost = 0
+        self.depth_captures = 0
+        self.depth_skipped = 0
+        self.clouds_lost = 0
 
         autopilot_config = autopilot_config or AutopilotConfig()
         autopilot_config.takeoff_altitude = system_config.cruise_altitude
@@ -145,10 +160,19 @@ class MissionRunner:
             and self.system.frame_elision_safe
         )
         max_view_angle = self.camera.max_view_angle()
+        # The flight recorder only ever sees perf_counter durations and event
+        # counts behind ``rec is not None`` guards: the untraced loop is
+        # byte-for-byte the same code path, and the traced one reads no RNG.
+        rec = self.recorder
 
         while time_now < mission.max_mission_time:
             time_now += mission.physics_dt
-            state = self.autopilot.step(mission.physics_dt)
+            if rec is None:
+                state = self.autopilot.step(mission.physics_dt)
+            else:
+                _t = perf_counter()
+                state = self.autopilot.step(mission.physics_dt)
+                rec.add("physics", _t)
 
             # Ground-truth collision monitoring (only while airborne).
             if state.position.z > 0.25:
@@ -178,7 +202,11 @@ class MissionRunner:
                 next_depth = time_now + mission.depth_period
                 estimate = self.autopilot.estimated_state
                 if harness is not None:
+                    _t = perf_counter() if rec is not None else 0.0
                     estimate = harness.filter_estimate(estimate, time_now)
+                    if rec is not None:
+                        rec.add("harness", _t)
+                _t = perf_counter() if rec is not None else 0.0
                 if (
                     fast_path
                     and self.depth_forward.capture_provably_empty(self.world, state.pose)
@@ -191,6 +219,7 @@ class MissionRunner:
                         timestamp=time_now,
                         sensor_position=estimate.pose.position,
                     )
+                    self.depth_skipped += 1
                 else:
                     cloud = self.depth_forward.capture(
                         self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
@@ -199,15 +228,28 @@ class MissionRunner:
                         self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
                     )
                     merged = cloud.merged_with(cloud_down)
+                    self.depth_captures += 1
+                if rec is not None:
+                    rec.add("sense", _t)
                 if harness is not None:
+                    _t = perf_counter() if rec is not None else 0.0
                     merged = harness.filter_cloud(merged, time_now)
+                    if rec is not None:
+                        rec.add("harness", _t)
                 if merged is not None:
+                    _t = perf_counter() if rec is not None else 0.0
                     self.system.process_cloud(merged, estimate)
+                    if rec is not None:
+                        rec.add("map", _t)
                 else:
                     # Cloud lost to a sensor fault: no fusion, no cost.
                     self.system.last_timings.mapping = 0.0
+                    self.clouds_lost += 1
                 if harness is not None:
+                    _t = perf_counter() if rec is not None else 0.0
                     harness.corrupt_mapping(self.system, estimate, time_now)
+                    if rec is not None:
+                        rec.add("harness", _t)
 
             # Perception + decision at the decision rate.
             if time_now >= next_decision:
@@ -220,34 +262,63 @@ class MissionRunner:
                     # detector is declared silent on such frames: advance the
                     # camera RNG exactly as a capture would and charge the
                     # nominal detection cost without rendering or detecting.
+                    _t = perf_counter() if rec is not None else 0.0
                     self.camera.consume_skipped_frame_rng(self.world)
+                    if rec is not None:
+                        rec.add("sense", _t)
+                        _t = perf_counter()
                     self.system.process_skipped_frame(time_now)
+                    if rec is not None:
+                        rec.add("detect", _t)
+                    self.frames_skipped += 1
                 else:
+                    _t = perf_counter() if rec is not None else 0.0
                     frame = self.camera.capture(
                         self.world, state.pose, estimated_pose=estimate.pose, timestamp=time_now
                     )
+                    if rec is not None:
+                        rec.add("sense", _t)
+                    self.frames_rendered += 1
                     if harness is not None:
+                        _t = perf_counter() if rec is not None else 0.0
                         frame = harness.filter_frame(frame, time_now)
+                        if rec is not None:
+                            rec.add("harness", _t)
                     if frame is not None:
+                        _t = perf_counter() if rec is not None else 0.0
                         result = self.system.process_frame(frame)
                         self._score_detections(frame, result, detection_stats)
+                        if rec is not None:
+                            rec.add("detect", _t)
                     else:
                         # Frame lost to a sensor fault: no detection ran this
                         # tick, so no detection cost either (process_frame is
                         # what normally refreshes the timing each tick).
                         self.system.last_timings.detection = 0.0
+                        self.frames_lost += 1
 
+                _t = perf_counter() if rec is not None else 0.0
                 command = self.system.decide(
                     estimate, time_now, allow_replan=budget.allow_replan
                 )
+                if rec is not None:
+                    rec.add("plan", _t)
                 if harness is not None:
+                    _t = perf_counter() if rec is not None else 0.0
                     command = harness.filter_command(command, time_now)
                     harness.adjust_timings(self.system.last_timings, time_now)
+                    if rec is not None:
+                        rec.add("harness", _t)
+                _t = perf_counter() if rec is not None else 0.0
                 self._apply_command(command)
 
                 budget = self.platform.schedule_tick(
                     self.system.last_timings, mission.decision_period
                 )
+                if rec is not None:
+                    rec.add("control", _t)
+                    timings = self.system.last_timings
+                    rec.charge_nominal(timings.detection, timings.mapping, timings.planning)
                 resource_stats.cpu_utilisation_samples.append(budget.cpu_utilisation)
                 resource_stats.memory_mb_samples.append(budget.memory_mb)
                 resource_stats.gpu_utilisation_samples.append(budget.gpu_utilisation)

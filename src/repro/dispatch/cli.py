@@ -177,7 +177,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for status in queue.status():
         shard = status.shard
         done += status.state.value == "done"
-        age = f"{status.heartbeat_age:.0f}s" if status.heartbeat_age is not None else "-"
+        # Lease age against its limit ("12s/60s"), so a wedged worker is
+        # visible at a glance; "(stale!)" once the heartbeat has expired.
+        if status.heartbeat_age is None:
+            age = "-"
+        else:
+            age = f"{status.heartbeat_age:.0f}s"
+            if status.lease_seconds is not None:
+                age += f"/{status.lease_seconds:.0f}s"
+            if status.stale:
+                age += " (stale!)"
         rows.append(
             [
                 shard.name,

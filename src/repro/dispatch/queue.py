@@ -49,6 +49,7 @@ from repro.dispatch.planner import (
     shard_results_dir,
     write_json_atomic,
 )
+from repro.obs.metrics import METRICS
 
 #: Default worker lease: a heartbeat older than this marks the worker dead.
 DEFAULT_LEASE_SECONDS = 60.0
@@ -79,6 +80,15 @@ class ShardStatus:
     worker: str = ""
     heartbeat_age: float | None = None
     records: int | None = None
+    #: The lease the shard was claimed under; with ``heartbeat_age`` this is
+    #: what makes a stuck worker diagnosable from ``dispatch status`` alone
+    #: (age vs limit) instead of reading ``lease.json`` by hand.
+    lease_seconds: float | None = None
+
+    @property
+    def stale(self) -> bool:
+        """Heartbeat expired: the owning worker is presumed dead."""
+        return self.state is ShardState.STALE
 
     def to_dict(self) -> dict:
         """JSON-compatible view (``dispatch status --json`` / the service)."""
@@ -91,6 +101,8 @@ class ShardStatus:
             "state": self.state.value,
             "worker": self.worker or None,
             "heartbeat_age": self.heartbeat_age,
+            "lease_seconds": self.lease_seconds,
+            "stale": self.stale,
             "records": self.records,
         }
 
@@ -267,9 +279,25 @@ class ShardQueue:
                     state=ShardState.STALE if age > lease_seconds else ShardState.RUNNING,
                     worker=str((payload or {}).get("worker", "")),
                     heartbeat_age=age,
+                    lease_seconds=lease_seconds,
                 )
             )
+        self._export_status_metrics(statuses)
         return statuses
+
+    def _export_status_metrics(self, statuses: list[ShardStatus]) -> None:
+        """Mirror the snapshot into the process-local metrics registry."""
+        shards = METRICS.gauge(
+            "repro_dispatch_shards", "Shards by queue state, per dispatch plan."
+        )
+        states = [status.state.value for status in statuses]
+        for state in ShardState:
+            shards.set(states.count(state.value), plan=self.plan.name, state=state.value)
+        ages = [s.heartbeat_age for s in statuses if s.heartbeat_age is not None]
+        METRICS.gauge(
+            "repro_dispatch_oldest_heartbeat_age_seconds",
+            "Age of the stalest live lease heartbeat, per dispatch plan.",
+        ).set(max(ages) if ages else 0.0, plan=self.plan.name)
 
     def all_done(self) -> bool:
         return all(self.read_done(shard) is not None for shard in self.plan.shards)
@@ -329,6 +357,10 @@ class ShardQueue:
         path = self.lease_path(shard)
         token = f"{worker_id}-{uuid.uuid4().hex}"
         lease = ShardLease(self, shard, worker_id, lease_seconds, token)
+        claims = METRICS.counter(
+            "repro_dispatch_claims_total", "Shard claim attempts by outcome."
+        )
+        via = "fresh"
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -364,6 +396,7 @@ class ShardQueue:
                 evicted.unlink()
                 return None
             evicted.unlink()
+            via = "stolen"
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
@@ -376,4 +409,5 @@ class ShardQueue:
         if self.read_done(shard) is not None:
             lease.release()
             return None
+        claims.inc(result=via)
         return lease

@@ -36,6 +36,7 @@ from repro.dispatch.queue import (
     ShardLease,
     ShardQueue,
 )
+from repro.obs.metrics import METRICS
 from repro.world.scenario_suite import ScenarioSuite
 
 #: How often a shard's queue state is re-polled while nothing is claimable.
@@ -196,11 +197,23 @@ def run_worker(
                     f"[{report.worker_id}] lost the lease on {shard.name} "
                     f"mid-shard ({heartbeat.error}); abandoning it to the new owner"
                 )
+            METRICS.counter(
+                "repro_dispatch_leases_lost_total",
+                "Shard leases this worker stalled past and lost mid-shard.",
+            ).inc()
             continue
         counts = {name: len(result) for name, result in results.items()}
         lease.mark_done(counts)
         report.shards_completed.append(shard.index)
         report.records_flown += sum(counts.values())
+        METRICS.counter(
+            "repro_dispatch_shards_completed_total",
+            "Shards this worker claimed and drove to done.json.",
+        ).inc()
+        METRICS.counter(
+            "repro_dispatch_records_flown_total",
+            "Campaign records produced by this worker's completed shards.",
+        ).inc(sum(counts.values()))
         if progress is not None:
             progress(f"[{report.worker_id}] completed {shard.name}")
     return report

@@ -166,6 +166,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     campaign.suite(suite).faults(*specs)
     if args.repetitions is not None:
         campaign.repetitions(args.repetitions)
+    if args.trace:
+        campaign.trace(args.trace)
     if args.verbose:
         campaign.progress(print)
 
@@ -293,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument("--out", default=None, help="directory for per-run JSONL results")
+    run.add_argument(
+        "--trace", default=None,
+        help="directory for flight-trace JSONL (side-channel: campaign "
+        "records are byte-identical with or without it)",
+    )
     run.add_argument(
         "--dispatch", default=None,
         help="run as a sharded dispatch under this directory instead of --out",

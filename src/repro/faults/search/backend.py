@@ -212,12 +212,18 @@ class DispatchProbeBackend:
         """
         from repro.dispatch.planner import plan_dispatch
         from repro.dispatch.queue import ShardQueue
+        from repro.obs.metrics import METRICS
 
+        cache = METRICS.counter(
+            "repro_probe_cache_total", "Fault-probe evaluations by memo outcome."
+        )
         fresh: list[tuple[Probe, Path]] = []
         seen: set[ProbeKey] = set()
         for probe in probes:
             if probe.key in self._memo or probe.key in seen:
+                cache.inc(backend="dispatch", result="hit")
                 continue
+            cache.inc(backend="dispatch", result="miss")
             seen.add(probe.key)
             sub_suite, plan = self.probe_plan(probe)
             directory = self.probe_dir(probe, plan.fingerprint)
@@ -339,11 +345,18 @@ class ServiceProbeBackend:
                 return tuple(records)
 
     def evaluate(self, probes: Sequence[Probe]) -> list[ProbeOutcome]:
+        from repro.obs.metrics import METRICS
+
+        cache = METRICS.counter(
+            "repro_probe_cache_total", "Fault-probe evaluations by memo outcome."
+        )
         submitted: list[tuple[Probe, str]] = []
         seen: set[ProbeKey] = set()
         for probe in probes:
             if probe.key in self._memo or probe.key in seen:
+                cache.inc(backend="service", result="hit")
                 continue
+            cache.inc(backend="service", result="miss")
             seen.add(probe.key)
             response = self.client.submit(self._submission(probe))
             submitted.append((probe, response["id"]))

@@ -1,0 +1,48 @@
+"""Unified observability: flight-recorder tracing, metrics, and reports.
+
+Three faces, one substrate:
+
+* :mod:`repro.obs.trace` — the :class:`FlightRecorder` span API the mission
+  runner streams per-phase timings through, as framed JSONL trace files that
+  are strictly side-channel (campaign records stay byte-identical with
+  tracing on or off).
+* :mod:`repro.obs.metrics` — the process-local :data:`METRICS` registry of
+  counters/gauges/histograms fed by the mission runner, the dispatch
+  worker/queue, the fault-space probe backends and the campaign service,
+  exported deterministically and served as Prometheus text on
+  ``GET /metrics``.
+* :mod:`repro.obs.report` — ``python -m repro.obs report <dir>``, the
+  deterministic per-phase time-breakdown over a trace directory.
+
+This package sits low in the layer order: ``trace`` depends only on
+:mod:`repro.jsonl` and ``metrics`` on the stdlib, so core, dispatch, faults
+and service layers can all instrument themselves without import cycles
+(``report`` pulls in the bench table renderers and is imported lazily by
+the CLI).
+"""
+
+from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    PHASES,
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    FlightRecorder,
+    append_trace_summary,
+    iter_trace_summaries,
+    trace_filename,
+)
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "TRACE_KIND",
+    "TRACE_SCHEMA_VERSION",
+    "FlightRecorder",
+    "append_trace_summary",
+    "iter_trace_summaries",
+    "trace_filename",
+]

@@ -1,0 +1,199 @@
+"""Aggregate flight-trace files into a per-phase time-breakdown report.
+
+``python -m repro.obs report <dir>`` walks a directory for
+``*.trace.jsonl`` files (a campaign's ``--trace`` dir, or a whole dispatch
+tree), aggregates every run summary and renders a markdown report through
+:mod:`repro.bench.tables`.
+
+The default report is **deterministic**: it shows span counts, fast-path
+skip counters and the platform model's *nominal* module seconds — all pure
+functions of the campaign definition — so the same campaign produces the
+same bytes on any machine, in any execution mode, and the report can be
+committed as a CI baseline (``baselines/obs-smoke/phase-report.md``).
+``--wall`` adds the measured wall-clock columns for local profiling; those
+are machine-dependent by nature and are never part of the baseline.
+
+Aggregation is order-independent by construction: summaries are sorted by
+``(system, scenario_id, repetition)`` before any float is summed, so the
+append interleavings of parallel or dispatched workers cannot change a bit
+of the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.bench.tables import format_markdown_table, format_percent
+from repro.obs.trace import PHASES, iter_trace_summaries
+
+
+def collect_summaries(directory: str | Path) -> list[dict[str, Any]]:
+    """Every run summary under ``directory``, in deterministic order."""
+    directory = Path(directory)
+    if not directory.exists():
+        raise FileNotFoundError(f"no such trace directory: {directory}")
+    summaries: list[dict[str, Any]] = []
+    for path in sorted(directory.rglob("*.trace.jsonl")):
+        summaries.extend(iter_trace_summaries(path))
+    summaries.sort(
+        key=lambda s: (
+            str(s.get("system", "")),
+            str(s.get("scenario_id", "")),
+            int(s.get("repetition", 0)),
+        )
+    )
+    return summaries
+
+
+def _aggregate(summaries: Sequence[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Per-system aggregates: span counts/walls, nominal seconds, counters."""
+    systems: dict[str, dict[str, Any]] = {}
+    for summary in summaries:
+        system = str(summary.get("system", ""))
+        agg = systems.setdefault(
+            system,
+            {"runs": 0, "spans": {}, "wall": {}, "nominal": {}, "counters": {}},
+        )
+        agg["runs"] += 1
+        for phase, span in summary.get("spans", {}).items():
+            agg["spans"][phase] = agg["spans"].get(phase, 0) + int(span.get("count", 0))
+            agg["wall"][phase] = agg["wall"].get(phase, 0.0) + float(
+                span.get("wall_s", 0.0)
+            )
+        for phase, seconds in summary.get("nominal_s", {}).items():
+            agg["nominal"][phase] = agg["nominal"].get(phase, 0.0) + float(seconds)
+        for name, value in summary.get("counters", {}).items():
+            agg["counters"][name] = agg["counters"].get(name, 0) + int(value)
+    return systems
+
+
+def _phase_order(agg: dict[str, Any]) -> list[str]:
+    known = [
+        phase
+        for phase in PHASES
+        if phase in agg["spans"] or agg["nominal"].get(phase, 0.0) > 0.0
+    ]
+    extra = sorted(set(agg["spans"]) - set(known))
+    return known + extra
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def _skip_rate(counters: dict[str, int], skipped: str, executed: str) -> float:
+    """Skips over skip opportunities (``frames-lost``/``clouds-lost`` count
+    captures the harness later dropped, so they are already in ``executed``)."""
+    total = counters.get(skipped, 0) + counters.get(executed, 0)
+    return counters.get(skipped, 0) / total if total else float("nan")
+
+
+def render_phase_report(
+    summaries: Sequence[dict[str, Any]], *, wall: bool = False
+) -> str:
+    """The markdown phase-breakdown report over ``summaries``."""
+    systems = _aggregate(summaries)
+    lines = ["# Flight-trace phase report", ""]
+    lines.append(
+        f"{len(summaries)} traced run(s) across {len(systems)} system(s)."
+    )
+    lines.append(
+        "Nominal seconds are the execution-platform model's deterministic "
+        "module costs; span counts are deterministic too."
+        + (" Wall seconds are measured on this machine." if wall else "")
+    )
+    lines.append("")
+
+    headers = ["System", "Phase", "Spans", "Nominal s", "Nominal share"]
+    if wall:
+        headers += ["Wall s", "Wall share"]
+    rows: list[list[object]] = []
+    for system in sorted(systems):
+        agg = systems[system]
+        nominal_total = sum(agg["nominal"].values())
+        wall_total = sum(agg["wall"].values())
+        for phase in _phase_order(agg):
+            nominal = agg["nominal"].get(phase)
+            row: list[object] = [
+                system,
+                phase,
+                agg["spans"].get(phase, 0),
+                _seconds(nominal) if nominal is not None else "-",
+                format_percent(nominal / nominal_total)
+                if nominal is not None and nominal_total
+                else "-",
+            ]
+            if wall:
+                seconds = agg["wall"].get(phase, 0.0)
+                row += [
+                    _seconds(seconds),
+                    format_percent(seconds / wall_total) if wall_total else "-",
+                ]
+            rows.append(row)
+    lines.append(format_markdown_table(headers, rows))
+    lines.append("")
+
+    lines.append("## Fast-path and fault counters")
+    lines.append("")
+    counter_rows: list[list[object]] = []
+    for system in sorted(systems):
+        counters = systems[system]["counters"]
+        for name in sorted(counters):
+            counter_rows.append([system, name, counters[name]])
+        counter_rows.append(
+            [system, "frame-skip-rate",
+             format_percent(_skip_rate(counters, "frames-skipped", "frames-rendered"))]
+        )
+        counter_rows.append(
+            [system, "depth-skip-rate",
+             format_percent(_skip_rate(counters, "depth-skipped", "depth-captures"))]
+        )
+    lines.append(format_markdown_table(["System", "Counter", "Total"], counter_rows))
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Aggregate flight-trace files into phase-breakdown reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="render the per-phase time-breakdown markdown report"
+    )
+    report.add_argument("dir", help="directory holding *.trace.jsonl files")
+    report.add_argument("--out", default=None, help="write the report here")
+    report.add_argument(
+        "--wall", action="store_true",
+        help="include measured wall-clock columns (machine-dependent; the "
+        "default report is deterministic and baseline-safe)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        summaries = collect_summaries(args.dir)
+        if not summaries:
+            print(f"error: no *.trace.jsonl files under {args.dir}", file=sys.stderr)
+            return 2
+        rendered = render_phase_report(summaries, wall=args.wall)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        print(f"phase report written to {path}")
+    else:
+        print(rendered, end="")
+    return 0

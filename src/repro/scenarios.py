@@ -173,12 +173,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         campaign.parallel(args.workers)
     if args.out:
         campaign.out(args.out)
+    if args.trace:
+        campaign.trace(args.trace)
     if args.verbose:
         campaign.progress(print)
     results = campaign.run()
     print(render_outcome_rates(results))
     if args.out:
         print(f"per-run JSONL results under {args.out} (re-run to resume)")
+    if args.trace:
+        print(
+            f"flight traces under {args.trace} "
+            f"(report: python -m repro.obs report {args.trace})"
+        )
     if args.report:
         from repro.analysis import CampaignAnalysis
 
@@ -225,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument("--out", default=None, help="directory for per-run JSONL results")
+    run.add_argument(
+        "--trace", default=None,
+        help="directory for flight-trace JSONL (side-channel: campaign "
+        "records are byte-identical with or without it)",
+    )
     run.add_argument(
         "--report", default=None,
         help="write a markdown analytics report (Wilson/bootstrap CIs) here; "

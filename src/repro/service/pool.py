@@ -27,6 +27,7 @@ What the pool adds on top:
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Callable
 
@@ -65,6 +66,9 @@ class WorkerPool:
         self._log = log
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        #: thread name -> wall-clock time of its last sign of life (scheduler
+        #: pass or per-mission progress line); what /healthz reports.
+        self._last_progress: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     def log(self, message: str) -> None:
@@ -100,6 +104,36 @@ class WorkerPool:
     def running(self) -> bool:
         return any(thread.is_alive() for thread in self._threads)
 
+    def health(self) -> dict:
+        """Per-thread liveness for ``/healthz``.
+
+        ``last_progress_age`` is seconds since the thread last scheduled or
+        reported a completed mission — a thread that is alive but has an age
+        far beyond a mission's duration is wedged, which plain
+        ``is_alive()`` cannot show.
+        """
+        now = time.time()
+        threads = []
+        for thread in self._threads:
+            seen = self._last_progress.get(thread.name)
+            threads.append(
+                {
+                    "name": thread.name,
+                    "alive": thread.is_alive(),
+                    "last_progress_age": (
+                        round(now - seen, 3) if seen is not None else None
+                    ),
+                }
+            )
+        return {
+            "workers": self.workers,
+            "running": self.running,
+            "threads": threads,
+        }
+
+    def _beat(self, name: str) -> None:
+        self._last_progress[name] = time.time()
+
     # ------------------------------------------------------------------ #
     def _next_job(self) -> Job | None:
         """The oldest job with outstanding work, or ``None``."""
@@ -114,7 +148,10 @@ class WorkerPool:
         return None
 
     def _progress(self, job: Job, worker_id: str):
+        thread_name = threading.current_thread().name
+
         def callback(line: str) -> None:
+            self._beat(thread_name)
             if self._stop.is_set():
                 raise JobCancelled(f"pool stopping; abandoning {job.id}")
             if job.cancelled:
@@ -142,7 +179,9 @@ class WorkerPool:
 
     def _loop(self, index: int) -> None:
         worker_id = f"service-pool-{index}"
+        thread_name = threading.current_thread().name
         while not self._stop.is_set():
+            self._beat(thread_name)
             job = self._next_job()
             if job is None:
                 self._stop.wait(self.idle_seconds)

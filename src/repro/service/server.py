@@ -2,7 +2,8 @@
 
 Routes (all JSON unless noted)::
 
-    GET  /healthz                      liveness + job counts
+    GET  /healthz                      liveness + job counts + pool health
+    GET  /metrics                      Prometheus text exposition
     GET  /jobs                         all jobs, submission order
     POST /jobs                         submit a campaign (dedup by content)
     GET  /jobs/{id}                    full queue/shard status
@@ -24,7 +25,9 @@ can observe the memo working.
 from __future__ import annotations
 
 import json
+import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
@@ -33,6 +36,7 @@ from repro.analysis.slicing import FACTOR_NAMES
 from repro.core.metrics import RESULT_SCHEMA_VERSION
 from repro.dispatch.merge import ShardResultError
 from repro.jsonl import read_frame_header, read_frame_page
+from repro.obs.metrics import METRICS
 from repro.world.spec_validation import SpecValidationError
 
 from repro.service.jobs import Job, JobStore, UnknownJobError
@@ -103,8 +107,12 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
+    #: Status of the last response written, read back by the access log.
+    _last_status: int | None = None
+
     def _send(self, status: int, body: bytes, content_type: str,
               extra_headers: dict[str, str] | None = None) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -145,34 +153,109 @@ class _Handler(BaseHTTPRequestHandler):
         parts = urlsplit(self.path)
         query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
         segments = [segment for segment in parts.path.split("/") if segment]
+        started = perf_counter()
+        self._last_status = None
         try:
-            handled = self._dispatch(method, segments, query)
-        except ServiceError as error:
-            self._send_json(error.status, error.payload)
+            try:
+                handled = self._dispatch(method, segments, query)
+            except ServiceError as error:
+                self._send_json(error.status, error.payload)
+                return
+            except SpecValidationError as error:
+                self._send_json(400, error.to_payload())
+                return
+            except ShardResultError as error:
+                self._send_json(409, {"error": str(error)})
+                return
+            except BrokenPipeError:  # client went away mid-response
+                return
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            if not handled:
+                self._send_json(
+                    404, {"error": f"no such route: {method} {parts.path}"}
+                )
+        finally:
+            self._observe_request(method, parts.path, segments, started)
+
+    def _refresh_gauges(self) -> None:
+        """Fold scrape-time state (jobs, pool threads) into the registry."""
+        store = self.server.store
+        counts = {state: 0 for state in ("queued", "running", "done", "cancelled")}
+        for job in store.jobs():
+            try:
+                counts[store.job_state(job)] += 1
+            except (OSError, ValueError, KeyError):
+                continue  # half-planned or torn directory: not scrapable
+        jobs_gauge = METRICS.gauge(
+            "repro_service_jobs", "Submitted jobs by lifecycle state."
+        )
+        for state, count in counts.items():
+            jobs_gauge.set(count, state=state)
+        pool = self.server.pool.health()
+        METRICS.gauge(
+            "repro_service_pool_threads_alive", "Live worker-pool threads."
+        ).set(sum(1 for thread in pool["threads"] if thread["alive"]))
+        ages = [
+            thread["last_progress_age"]
+            for thread in pool["threads"]
+            if thread["last_progress_age"] is not None
+        ]
+        METRICS.gauge(
+            "repro_service_pool_max_progress_age_seconds",
+            "Seconds since the least recently active pool thread progressed.",
+        ).set(max(ages) if ages else 0.0)
+
+    @staticmethod
+    def _route_template(segments: list[str]) -> str:
+        """The path with the job id collapsed (bounds metric cardinality)."""
+        if segments[:1] == ["jobs"] and len(segments) >= 2:
+            segments = ["jobs", "{id}", *segments[2:]]
+        return "/" + "/".join(segments) if segments else "/"
+
+    def _observe_request(
+        self, method: str, path: str, segments: list[str], started: float
+    ) -> None:
+        """Per-request metrics + one structured access-log line."""
+        elapsed = perf_counter() - started
+        status = self._last_status if self._last_status is not None else 0
+        route = self._route_template(segments)
+        METRICS.counter(
+            "repro_http_requests_total", "Service requests by route and status."
+        ).inc(method=method, route=route, status=str(status))
+        METRICS.histogram(
+            "repro_http_request_seconds", "Service request latency by route."
+        ).observe(elapsed, route=route)
+        if self.server.quiet:
             return
-        except SpecValidationError as error:
-            self._send_json(400, error.to_payload())
-            return
-        except ShardResultError as error:
-            self._send_json(409, {"error": str(error)})
-            return
-        except BrokenPipeError:  # client went away mid-response
-            return
-        except Exception as error:  # noqa: BLE001 - last-resort 500
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
-            return
-        if not handled:
-            self._send_json(404, {"error": f"no such route: {method} {parts.path}"})
+        entry: dict[str, Any] = {
+            "kind": "access",
+            "method": method,
+            "path": path,
+            "status": status,
+            "latency_ms": round(elapsed * 1000.0, 3),
+        }
+        if segments[:1] == ["jobs"] and len(segments) >= 2:
+            entry["job"] = segments[1]  # the job id IS the plan fingerprint
+        print(json.dumps(entry, sort_keys=True), file=sys.stderr, flush=True)
 
     def _dispatch(self, method: str, segments: list[str], query: dict[str, str]) -> bool:
         store = self.server.store
         if method == "GET" and segments == ["healthz"]:
             jobs = store.jobs()
+            pool = self.server.pool.health()
             self._send_json(200, {
                 "ok": True,
                 "jobs": len(jobs),
-                "pool_running": self.server.pool.running,
+                "pool_running": pool["running"],
+                "pool": pool,
             })
+            return True
+        if method == "GET" and segments == ["metrics"]:
+            self._refresh_gauges()
+            body = METRICS.render_prometheus().encode("utf-8")
+            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
             return True
         if segments[:1] != ["jobs"]:
             return False

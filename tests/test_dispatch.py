@@ -636,3 +636,89 @@ class TestDispatchCli:
         assert "invalid suite spec" in err
         for field in ("count", "bogus", "seed"):
             assert field in err
+
+
+class TestLeaseObservability:
+    def test_status_surfaces_lease_age_and_limit(self, tmp_path, suite):
+        plan_smoke(tmp_path, suite, shards=2)
+        queue = ShardQueue(tmp_path / "dispatch")
+        lease = queue.claim("w0", lease_seconds=30.0)
+        assert lease is not None
+        claimed = queue.status()[lease.shard.index]
+        assert claimed.state is ShardState.RUNNING
+        assert claimed.stale is False
+        assert claimed.lease_seconds == 30.0
+        assert 0.0 <= claimed.heartbeat_age < 30.0
+        other = next(s for s in queue.status() if s.shard.index != lease.shard.index)
+        assert other.lease_seconds is None  # pending: nothing claimed it
+        payload = claimed.to_dict()
+        assert payload["lease_seconds"] == 30.0
+        assert payload["stale"] is False
+        lease.release()
+
+    def test_status_marks_expired_heartbeat_stale(self, tmp_path, suite):
+        plan_smoke(tmp_path, suite, shards=1)
+        queue = ShardQueue(tmp_path / "dispatch")
+        lease = queue.claim("w0", lease_seconds=0.05)
+        time.sleep(0.1)
+        status = queue.status()[0]
+        assert status.state is ShardState.STALE
+        assert status.stale is True
+        assert status.to_dict()["stale"] is True
+        assert status.heartbeat_age > status.lease_seconds == 0.05
+        lease.release()
+
+    def test_cli_status_shows_age_against_limit(
+        self, tmp_path, suite, stub_execute, capsys
+    ):
+        plan_smoke(tmp_path, suite, shards=2)
+        directory = tmp_path / "dispatch"
+        queue = ShardQueue(directory)
+        lease = queue.claim("w0", lease_seconds=60.0)
+        assert dispatch_main(["status", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "/60s" in out           # age rendered against its lease limit
+        assert "(stale!)" not in out
+        lease.release()
+
+    def test_cli_status_flags_stale_lease(self, tmp_path, suite, stub_execute, capsys):
+        plan_smoke(tmp_path, suite, shards=1)
+        directory = tmp_path / "dispatch"
+        queue = ShardQueue(directory)
+        lease = queue.claim("w0", lease_seconds=0.05)
+        time.sleep(0.1)
+        assert dispatch_main(["status", str(directory)]) == 0
+        assert "(stale!)" in capsys.readouterr().out
+        lease.release()
+
+    def test_status_json_includes_lease_fields(self, tmp_path, suite, capsys):
+        plan_smoke(tmp_path, suite, shards=2)
+        directory = tmp_path / "dispatch"
+        queue = ShardQueue(directory)
+        lease = queue.claim("w0", lease_seconds=45.0)
+        assert dispatch_main(["status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_state = {s["state"]: s for s in payload["shards"]}
+        assert by_state["running"]["lease_seconds"] == 45.0
+        assert by_state["running"]["stale"] is False
+        assert by_state["pending"]["lease_seconds"] is None
+        lease.release()
+
+    def test_claim_and_steal_metrics(self, tmp_path, suite):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        try:
+            plan_smoke(tmp_path, suite, shards=1)
+            queue = ShardQueue(tmp_path / "dispatch")
+            lease = queue.claim("w0", lease_seconds=0.05)
+            assert lease is not None
+            time.sleep(0.1)  # let the heartbeat expire
+            stolen = queue.claim("thief", lease_seconds=30.0)
+            assert stolen is not None
+            claims = METRICS.counter("repro_dispatch_claims_total")
+            assert claims.value(result="fresh") == 1
+            assert claims.value(result="stolen") == 1
+            stolen.release()
+        finally:
+            METRICS.reset()

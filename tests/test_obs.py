@@ -1,0 +1,309 @@
+"""Tests for the observability subsystem (repro.obs).
+
+The load-bearing contract — campaign records are byte-identical with
+tracing on or off — is asserted here over a real (short) campaign; the CI
+``obs-smoke`` job re-checks it with ``cmp`` over the standard smoke suite.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.bench.campaign import Campaign
+from repro.obs.metrics import (
+    METRICS,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_value,
+)
+from repro.obs.report import (
+    collect_summaries,
+    main as obs_main,
+    render_phase_report,
+)
+from repro.obs.trace import (
+    PHASES,
+    FlightRecorder,
+    append_trace_summary,
+    iter_trace_summaries,
+    trace_filename,
+)
+
+
+# ---------------------------------------------------------------------- #
+# metrics registry
+# ---------------------------------------------------------------------- #
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        runs = registry.counter("runs_total", "Completed runs.")
+        runs.inc(system="MLS-V1", outcome="success")
+        runs.inc(2, system="MLS-V1", outcome="success")
+        runs.inc(system="MLS-V2", outcome="crash")
+        assert runs.value(system="MLS-V1", outcome="success") == 3
+        assert runs.value(system="MLS-V2", outcome="crash") == 1
+        assert runs.value(system="MLS-V3", outcome="success") == 0.0
+
+    def test_counter_refuses_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("c", "").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("queue_depth", "")
+        depth.set(5)
+        depth.inc()
+        depth.dec(2)
+        assert depth.value() == 4
+
+    def test_histogram_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "", buckets=(0.1, 1.0))
+        latency.observe(0.05, route="/jobs")
+        latency.observe(0.5, route="/jobs")
+        latency.observe(30.0, route="/jobs")
+        assert latency.count(route="/jobs") == 3
+        assert latency.sum(route="/jobs") == pytest.approx(30.55)
+        text = "\n".join(latency.render())
+        assert 'latency_seconds_bucket{route="/jobs",le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{route="/jobs",le="1"} 2' in text
+        assert 'latency_seconds_bucket{route="/jobs",le="+Inf"} 3' in text
+        assert 'latency_seconds_count{route="/jobs"} 3' in text
+
+    def test_reregistration_returns_existing_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", "Cache hits.")
+        second = registry.counter("hits", "different help, same metric")
+        assert first is second
+
+    def test_reregistration_under_other_type_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing", "")
+
+    def test_prometheus_rendering_is_order_independent(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for system in order:
+                registry.counter("runs_total", "Runs.").inc(system=system)
+            registry.gauge("alive", "Liveness.").set(1)
+            return registry.render_prometheus()
+
+        assert build(["b", "a", "c"]) == build(["c", "a", "b"])
+
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "Completed runs.").inc(system='we"ird\n')
+        text = registry.render_prometheus()
+        assert "# HELP runs_total Completed runs." in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{system="we\\"ird\\n"} 1' in text
+        assert text.endswith("\n")
+
+    def test_snapshot_reports_histograms_as_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "").observe(0.2, k="v")
+        registry.counter("c", "").inc()
+        assert registry.snapshot() == {"c": {"{}": 1.0}, "h": {'{k="v"}': 1.0}}
+
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_concurrent_writers_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n", "")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc(worker="w")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(worker="w") == 4000
+
+
+# ---------------------------------------------------------------------- #
+# flight recorder + trace files
+# ---------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_spans_counters_and_nominal_roll_up(self):
+        recorder = FlightRecorder()
+        start = recorder.start()
+        recorder.add("detect", start)
+        recorder.add("detect", recorder.start())
+        recorder.count("frames-skipped")
+        recorder.count("frames-rendered", 3)
+        recorder.charge_nominal(0.012, 0.028, 0.001)
+        recorder.charge_nominal(0.012, 0.028, 0.001)
+        summary = recorder.summary(system="S", scenario_id="sc-1", repetition=2)
+        assert summary["system"] == "S"
+        assert summary["scenario_id"] == "sc-1"
+        assert summary["repetition"] == 2
+        assert summary["spans"]["detect"]["count"] == 2
+        assert summary["spans"]["detect"]["wall_s"] > 0.0
+        assert summary["counters"] == {"frames-rendered": 3, "frames-skipped": 1}
+        assert summary["nominal_s"]["detect"] == pytest.approx(0.024)
+        assert summary["nominal_s"]["map"] == pytest.approx(0.056)
+        assert summary["nominal_s"]["plan"] == pytest.approx(0.002)
+
+    def test_trace_filename_slugs_like_result_files(self):
+        assert trace_filename("MLS-V1") == "MLS-V1.trace.jsonl"
+        assert trace_filename("weird name/v2") == "weird_name_v2.trace.jsonl"
+
+    def test_append_and_iter_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.add("plan", recorder.start())
+        path = append_trace_summary(
+            tmp_path, recorder, system="MLS-V1", scenario_id="a", repetition=0
+        )
+        append_trace_summary(
+            tmp_path, recorder, system="MLS-V1", scenario_id="b", repetition=1
+        )
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "flight-trace"
+        assert header["phases"] == list(PHASES)
+        assert len(lines) == 3  # header + two summaries
+        summaries = list(iter_trace_summaries(path))
+        assert [s["scenario_id"] for s in summaries] == ["a", "b"]
+
+    def test_concurrent_appends_keep_one_header(self, tmp_path):
+        def append(index):
+            recorder = FlightRecorder()
+            append_trace_summary(
+                tmp_path, recorder,
+                system="MLS-V1", scenario_id=f"s{index}", repetition=0,
+            )
+
+        threads = [threading.Thread(target=append, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        path = tmp_path / trace_filename("MLS-V1")
+        lines = path.read_text().splitlines()
+        headers = [l for l in lines if json.loads(l).get("kind") == "flight-trace"]
+        assert len(headers) == 1
+        assert len(list(iter_trace_summaries(path))) == 8
+        assert list(tmp_path.iterdir()) == [path]  # no leftover temp files
+
+
+# ---------------------------------------------------------------------- #
+# the side-channel contract
+# ---------------------------------------------------------------------- #
+def short_campaign():
+    from repro.world.scenario_gen import generate_suite
+
+    return (
+        Campaign("mls-v1")
+        .suite(generate_suite("smoke", count=1, seed=3))
+        .mission(max_mission_time=8.0)
+    )
+
+
+class TestTracingSideChannel:
+    def test_traced_records_byte_identical_to_untraced(self, tmp_path):
+        short_campaign().out(tmp_path / "plain").run()
+        short_campaign().out(tmp_path / "traced").trace(tmp_path / "trace").run()
+        assert (tmp_path / "plain" / "MLS-V1.jsonl").read_bytes() == (
+            tmp_path / "traced" / "MLS-V1.jsonl"
+        ).read_bytes()
+        summaries = list(
+            iter_trace_summaries(tmp_path / "trace" / "MLS-V1.trace.jsonl")
+        )
+        assert len(summaries) == 1
+        spans = summaries[0]["spans"]
+        for phase in ("physics", "sense", "detect", "plan", "control"):
+            assert spans[phase]["count"] > 0, phase
+
+    def test_trace_dir_env_var_reaches_execution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "envtrace"))
+        short_campaign().run()
+        assert (tmp_path / "envtrace" / "MLS-V1.trace.jsonl").exists()
+
+    def test_run_metrics_exported(self, tmp_path):
+        METRICS.reset()
+        try:
+            short_campaign().run()
+            snapshot = METRICS.snapshot()
+            runs = snapshot["repro_runs_total"]
+            assert sum(runs.values()) == 1
+            assert all('system="MLS-V1"' in key for key in runs)
+            assert sum(snapshot["repro_frames_total"].values()) > 0
+            assert sum(snapshot["repro_mission_seconds"].values()) == 1
+        finally:
+            METRICS.reset()
+
+
+# ---------------------------------------------------------------------- #
+# the report
+# ---------------------------------------------------------------------- #
+def synthetic_trace(directory, order):
+    for scenario_id, repetition in order:
+        recorder = FlightRecorder()
+        recorder.add("detect", recorder.start())
+        recorder.count("frames-skipped", 2)
+        recorder.count("frames-rendered", 6)
+        recorder.count("depth-captures", 4)
+        recorder.charge_nominal(0.012, 0.028, 0.001)
+        append_trace_summary(
+            directory, recorder,
+            system="MLS-V3", scenario_id=scenario_id, repetition=repetition,
+        )
+
+
+class TestPhaseReport:
+    def test_report_independent_of_append_order(self, tmp_path):
+        runs = [("sc-a", 0), ("sc-a", 1), ("sc-b", 0)]
+        synthetic_trace(tmp_path / "fwd", runs)
+        synthetic_trace(tmp_path / "rev", list(reversed(runs)))
+        forward = render_phase_report(collect_summaries(tmp_path / "fwd"))
+        backward = render_phase_report(collect_summaries(tmp_path / "rev"))
+        assert forward == backward
+
+    def test_default_report_has_no_wall_columns(self, tmp_path):
+        synthetic_trace(tmp_path, [("sc", 0)])
+        summaries = collect_summaries(tmp_path)
+        plain = render_phase_report(summaries)
+        assert "Wall s" not in plain
+        assert "Nominal s" in plain
+        assert "frame-skip-rate" in plain
+        assert "25.0%" in plain  # 2 skipped / (2 + 6)
+        walled = render_phase_report(summaries, wall=True)
+        assert "Wall s" in walled
+
+    def test_skip_rate_without_opportunities_is_na(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.charge_nominal(0.01, 0.0, 0.0)
+        append_trace_summary(
+            tmp_path, recorder, system="S", scenario_id="sc", repetition=0
+        )
+        report = render_phase_report(collect_summaries(tmp_path))
+        assert "n/a" in report
+
+    def test_cli_writes_report(self, tmp_path, capsys):
+        synthetic_trace(tmp_path / "trace", [("sc", 0)])
+        out = tmp_path / "report.md"
+        assert obs_main(["report", str(tmp_path / "trace"), "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Flight-trace phase report")
+        assert str(out) in capsys.readouterr().out
+
+    def test_cli_errors_exit_2(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "missing")]) == 2
+        assert "no such trace directory" in capsys.readouterr().err
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert obs_main(["report", str(empty)]) == 2
+        assert "no *.trace.jsonl files" in capsys.readouterr().err

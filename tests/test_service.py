@@ -420,3 +420,77 @@ class TestServiceCli:
         assert service_main(["submit", server.url, "--preset", "bogus"]) == 2
         err = capsys.readouterr().err
         assert "HTTP 400" in err and "preset" in err
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_reports_pool_thread_liveness(self, server_factory, stub_execute):
+        server, client = server_factory(workers=2)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            health = client.healthz()
+            pool = health["pool"]
+            if all(t["last_progress_age"] is not None for t in pool["threads"]):
+                break
+            time.sleep(0.05)
+        assert health["ok"] is True
+        assert health["pool_running"] is True
+        assert pool["workers"] == 2
+        assert len(pool["threads"]) == 2
+        for thread in pool["threads"]:
+            assert thread["alive"] is True
+            assert thread["last_progress_age"] < 5.0
+
+    def test_healthz_without_pool(self, server_factory, stub_execute):
+        _, client = server_factory(start_pool=False)
+        health = client.healthz()
+        assert health["pool_running"] is False
+        assert health["pool"]["threads"] == []
+
+    def test_metrics_endpoint_serves_prometheus_text(
+        self, server_factory, stub_execute
+    ):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        try:
+            server, client = server_factory(workers=1)
+            job_id = client.submit(SUBMISSION)["id"]
+            client.wait(job_id, timeout=30)
+            text, headers = client._text("/metrics")
+            assert headers["Content-Type"].startswith("text/plain")
+            assert "# TYPE repro_service_jobs gauge" in text
+            assert 'repro_service_jobs{state="done"} 1' in text
+            assert "# TYPE repro_http_requests_total counter" in text
+            # The job id collapses to {id} in route labels.
+            assert 'route="/jobs/{id}"' in text
+            assert job_id not in text
+            assert "# TYPE repro_http_request_seconds histogram" in text
+            assert "repro_http_request_seconds_bucket" in text
+            assert "repro_service_pool_threads_alive 1" in text
+            # Sanity: every non-comment line is `name{labels} value`.
+            for line in text.splitlines():
+                if line.startswith("#") or not line:
+                    continue
+                name_part, _, value = line.rpartition(" ")
+                assert name_part and (value == "NaN" or float(value) is not None)
+            # Scrapes are repeatable (and the scrape itself was counted).
+            again, _ = client._text("/metrics")
+            assert 'route="/metrics"' in again
+        finally:
+            METRICS.reset()
+
+    def test_dispatch_worker_metrics_counted(self, server_factory, stub_execute):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        try:
+            server, client = server_factory(workers=1)
+            job_id = client.submit(SUBMISSION)["id"]
+            client.wait(job_id, timeout=30)
+            snapshot = METRICS.snapshot()
+            assert sum(snapshot["repro_dispatch_shards_completed_total"].values()) == 2
+            assert sum(snapshot["repro_dispatch_records_flown_total"].values()) == 4
+            claims = snapshot["repro_dispatch_claims_total"]
+            assert sum(claims.values()) == 2
+        finally:
+            METRICS.reset()
