@@ -159,6 +159,13 @@ class CampaignJob:
     #: fills it in for execution modes that do not ship jobs (dispatch
     #: workers on other machines).
     trace_dir: str | None = None
+    #: Correlation context (sorted ``(key, value)`` pairs) identifying where
+    #: this run came from — dispatch workers set ``job`` (plan fingerprint
+    #: prefix) and ``shard``; probe backends add ``probe`` via the
+    #: ``REPRO_CORR_PROBE`` environment variable.  Like tracing it is a pure
+    #: side channel: excluded from every content fingerprint, attached only
+    #: to metric label sets and trace summaries.
+    correlation: tuple[tuple[str, str], ...] = ()
 
 
 _worker_network = None
@@ -170,6 +177,22 @@ def _shared_network():
     if _worker_network is None:
         _worker_network = load_pretrained_detector_net()
     return _worker_network
+
+
+def _job_correlation(job: CampaignJob) -> dict[str, str]:
+    """The run's correlation context: job-carried pairs plus the probe id.
+
+    The probe id travels by environment (``REPRO_CORR_PROBE``) because probe
+    backends drain pre-planned dispatch directories — there is no job object
+    of theirs to thread it through — exactly like ``REPRO_TRACE_DIR``.
+    Cardinality is bounded upstream: every id is a short content-hash
+    prefix or a shard name, never a free-form string.
+    """
+    correlation = {key: value for key, value in job.correlation}
+    probe = os.environ.get("REPRO_CORR_PROBE")
+    if probe:
+        correlation["probe"] = probe
+    return correlation
 
 
 def _execute_job(job: CampaignJob) -> RunRecord:
@@ -216,9 +239,10 @@ def _execute_job(job: CampaignJob) -> RunRecord:
     # Observability side channel: per-run metrics and the optional trace
     # summary.  Nothing below reads back into the record, so the persisted
     # bytes are identical with or without it.
+    correlation = _job_correlation(job)
     METRICS.counter(
         "repro_runs_total", "Completed mission runs by system and outcome."
-    ).inc(system=job.system.name, outcome=record.outcome.value)
+    ).inc(system=job.system.name, outcome=record.outcome.value, **correlation)
     if record.failure_mode:
         METRICS.counter(
             "repro_failure_mode_total", "Runs by classified failure mode."
@@ -253,6 +277,7 @@ def _execute_job(job: CampaignJob) -> RunRecord:
             system=job.system.name,
             scenario_id=job.scenario.scenario_id,
             repetition=job.repetition,
+            correlation=correlation or None,
         )
     return record
 
@@ -336,6 +361,7 @@ class Campaign:
         self._progress: Callable[[str], None] | None = None
         self._out: Path | None = None
         self._trace: Path | None = None
+        self._correlation: tuple[tuple[str, str], ...] = ()
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -436,6 +462,22 @@ class Campaign:
         self._trace = Path(directory) if directory is not None else None
         return self
 
+    def correlate(self, **ids: str) -> "Campaign":
+        """Attach a correlation context to every run of this campaign.
+
+        The ids (e.g. ``job=<plan fingerprint prefix>, shard=<shard name>``)
+        ride each :class:`CampaignJob` into metric label sets and trace
+        summaries, linking fleet-level series back to the dispatch unit that
+        produced them.  A pure side channel: no content fingerprint and no
+        persisted record byte changes.  Pass short, bounded identifiers —
+        these become Prometheus labels.  Calling with no arguments clears
+        the context.
+        """
+        self._correlation = tuple(
+            sorted((str(key), str(value)) for key, value in ids.items())
+        )
+        return self
+
     def scenarios(self, count: int) -> "Campaign":
         """Evaluate on a ``count``-scenario subset of the evaluation suite."""
         if count <= 0:
@@ -520,6 +562,7 @@ class Campaign:
                             needs_network=needs_network,
                             faults=faults,
                             trace_dir=str(self._trace) if self._trace is not None else None,
+                            correlation=self._correlation,
                         )
                     )
                     index += 1

@@ -144,6 +144,29 @@ def render_report(checks: list[MeterCheck], tolerance: float) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_trace_attribution(baseline_dir: str, current_dir: str) -> str:
+    """Phase-level attribution for a failed gate, from two trace dirs.
+
+    Lazy-imports the obs comparison engine so the gate itself keeps its
+    tiny import footprint on the happy path.  Attribution is best-effort:
+    unusable trace directories degrade to a note, never to a crash — the
+    gate's own verdict already failed the build.
+    """
+    from repro.obs.compare import compare_phases, render_compare
+    from repro.obs.report import collect_summaries
+
+    try:
+        baseline = collect_summaries(baseline_dir)
+        current = collect_summaries(current_dir)
+    except (FileNotFoundError, ValueError) as error:
+        return f"(phase attribution unavailable: {error})\n"
+    if not baseline or not current:
+        return "(phase attribution unavailable: a trace directory has no summaries)\n"
+    comparisons = compare_phases(baseline, current)
+    body = render_compare(comparisons)
+    return "## Phase attribution (flight traces)\n\n" + body
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     floors, tolerance = load_baseline(Path(args.baseline))
     if args.tolerance is not None:
@@ -151,11 +174,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     measured = load_results_meters(Path(args.results))
     checks = check_meters(measured, floors, tolerance)
     report = render_report(checks, tolerance)
+    failed = not all(check.passed for check in checks)
+    if failed and args.trace_baseline and args.trace_current:
+        # A tripped floor says "slower"; the traces say *which phase*.
+        report += "\n" + render_trace_attribution(
+            args.trace_baseline, args.trace_current
+        )
     if args.report:
         Path(args.report).parent.mkdir(parents=True, exist_ok=True)
         Path(args.report).write_text(report, encoding="utf-8")
     sys.stdout.write(report)
-    return 0 if all(check.passed for check in checks) else 1
+    return 1 if failed else 0
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
@@ -199,6 +228,15 @@ def main(argv: list[str] | None = None) -> int:
         help="override the baseline's tolerance fraction",
     )
     check.add_argument("--report", default=None, help="write the report here too")
+    check.add_argument(
+        "--trace-baseline", default=None,
+        help="baseline flight-trace dir; with --trace-current, a failed gate "
+        "appends per-phase regression attribution (python -m repro.obs compare)",
+    )
+    check.add_argument(
+        "--trace-current", default=None,
+        help="current flight-trace dir for phase attribution on failure",
+    )
     check.set_defaults(func=_cmd_check)
 
     baseline = sub.add_parser(

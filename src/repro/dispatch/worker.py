@@ -36,6 +36,7 @@ from repro.dispatch.queue import (
     ShardLease,
     ShardQueue,
 )
+from repro.obs.export import flush_metrics
 from repro.obs.metrics import METRICS
 from repro.world.scenario_suite import ScenarioSuite
 
@@ -106,6 +107,10 @@ def _shard_campaign(
         .platform(plan.platform)
         .faults(*plan.faults)
         .out(results_dir)
+        # Correlation context: the plan fingerprint prefix and shard name
+        # ride every run's metric labels and trace summaries, so fleet
+        # series link back to the dispatch unit that produced them.
+        .correlate(job=plan.fingerprint[:10], shard=shard.name)
     )
     if progress is not None:
         campaign.progress(progress)
@@ -201,6 +206,7 @@ def run_worker(
                 "repro_dispatch_leases_lost_total",
                 "Shard leases this worker stalled past and lost mid-shard.",
             ).inc()
+            flush_metrics(directory)
             continue
         counts = {name: len(result) for name, result in results.items()}
         lease.mark_done(counts)
@@ -214,8 +220,13 @@ def run_worker(
             "repro_dispatch_records_flown_total",
             "Campaign records produced by this worker's completed shards.",
         ).inc(sum(counts.values()))
+        # Publish this process's registry state next to the shard outputs:
+        # per-shard (not per-run) keeps flushing off the mission hot path
+        # while the fleet aggregator still sees progress as shards land.
+        flush_metrics(directory)
         if progress is not None:
             progress(f"[{report.worker_id}] completed {shard.name}")
+    flush_metrics(directory)
     return report
 
 

@@ -171,19 +171,39 @@ class DispatchProbeBackend:
         return self.root / name
 
     # ------------------------------------------------------------------ #
-    def _drain(self, directory: Path) -> None:
-        from repro.dispatch.worker import run_local_workers, run_worker
+    def _drain(self, directory: Path, probe: Probe | None = None) -> None:
+        import os
 
-        if self.drain is not None:
-            self.drain(directory)
-        elif self.workers <= 1:
-            run_worker(
-                directory, lease_seconds=self.lease_seconds, progress=self.progress
-            )
-        else:
-            run_local_workers(
-                directory, workers=self.workers, lease_seconds=self.lease_seconds
-            )
+        from repro.dispatch.worker import run_local_workers, run_worker
+        from repro.obs.export import flush_metrics
+
+        # Correlation: the probe's spec-hash prefix travels by environment
+        # (like REPRO_TRACE_DIR) so every worker this drain runs or spawns
+        # stamps its runs' metrics and trace summaries with the probe id.
+        previous = os.environ.get("REPRO_CORR_PROBE")
+        if probe is not None:
+            os.environ["REPRO_CORR_PROBE"] = probe.spec.spec_hash()[:10]
+        try:
+            if self.drain is not None:
+                self.drain(directory)
+            elif self.workers <= 1:
+                run_worker(
+                    directory, lease_seconds=self.lease_seconds, progress=self.progress
+                )
+            else:
+                run_local_workers(
+                    directory, workers=self.workers, lease_seconds=self.lease_seconds
+                )
+        finally:
+            if probe is not None:
+                if previous is None:
+                    os.environ.pop("REPRO_CORR_PROBE", None)
+                else:
+                    os.environ["REPRO_CORR_PROBE"] = previous
+        # Publish the evaluating process's own registry (probe-cache
+        # counters, any in-process worker counters) next to the probe's
+        # shard outputs so a fleet scrape over probe dirs sees it.
+        flush_metrics(directory)
 
     def _load(self, probe: Probe, directory: Path) -> ProbeOutcome:
         from repro.bench.campaign import campaign_result_filename
@@ -243,7 +263,7 @@ class DispatchProbeBackend:
 
         for probe, directory in fresh:
             if not ShardQueue(directory).all_done():
-                self._drain(directory)
+                self._drain(directory, probe)
         for probe, directory in fresh:
             self._memo[probe.key] = self._load(probe, directory)
         return [self._memo[probe.key] for probe in probes]

@@ -12,15 +12,26 @@ Three faces, one substrate:
   exported deterministically and served as Prometheus text on
   ``GET /metrics``.
 * :mod:`repro.obs.report` — ``python -m repro.obs report <dir>``, the
-  deterministic per-phase time-breakdown over a trace directory.
+  deterministic per-phase time-breakdown over a trace directory, and
+  ``python -m repro.obs compare <a> <b>`` (:mod:`repro.obs.compare`), the
+  statistical per-phase regression attribution between two of them.
+
+Fleet-wide aggregation rides the same substrate: every worker process
+flushes crash-safe snapshots of its registry
+(:func:`repro.obs.export.flush_metrics`) into its dispatch directory, and
+:func:`repro.obs.aggregate.fleet_render` merges any set of snapshots —
+deterministically, regardless of arrival order — into one Prometheus page,
+which is what the campaign service serves on ``GET /metrics``.
 
 This package sits low in the layer order: ``trace`` depends only on
-:mod:`repro.jsonl` and ``metrics`` on the stdlib, so core, dispatch, faults
-and service layers can all instrument themselves without import cycles
-(``report`` pulls in the bench table renderers and is imported lazily by
-the CLI).
+:mod:`repro.jsonl` and ``metrics``/``export``/``aggregate`` on the stdlib,
+so core, dispatch, faults and service layers can all instrument themselves
+without import cycles (``report`` and ``compare`` pull in the bench table
+renderers and are imported lazily by the CLI).
 """
 
+from repro.obs.aggregate import fleet_render, merge_snapshots, render_merged
+from repro.obs.export import MetricsExporter, flush_metrics, process_exporter
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     PHASES,
@@ -37,7 +48,13 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsExporter",
     "MetricsRegistry",
+    "fleet_render",
+    "flush_metrics",
+    "merge_snapshots",
+    "process_exporter",
+    "render_merged",
     "PHASES",
     "TRACE_KIND",
     "TRACE_SCHEMA_VERSION",

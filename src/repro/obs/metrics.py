@@ -56,11 +56,60 @@ def format_value(value: float) -> str:
     return repr(float(value))
 
 
-def _render_labels(key: _LabelKey) -> str:
+def render_labels(key: _LabelKey) -> str:
+    """Render one sorted label key as Prometheus ``{k="v",...}`` text."""
     if not key:
         return ""
     inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in key)
     return "{" + inner + "}"
+
+
+#: Backwards-compatible private alias (instrumented modules imported this).
+_render_labels = render_labels
+
+
+def render_series_lines(
+    name: str, type_name: str, help_text: str,
+    series: Iterable[tuple[_LabelKey, float]],
+) -> list[str]:
+    """Exposition lines for one counter/gauge; shared with the aggregator
+    (:mod:`repro.obs.aggregate`) so merged fleet output and a live
+    registry's :meth:`MetricsRegistry.render_prometheus` are byte-identical
+    for identical state."""
+    lines = [
+        f"# HELP {name} {help_text}" if help_text else f"# HELP {name}",
+        f"# TYPE {name} {type_name}",
+    ]
+    for key, value in series:
+        lines.append(f"{name}{render_labels(key)} {format_value(value)}")
+    return lines
+
+
+def render_histogram_lines(
+    name: str, help_text: str, buckets: tuple[float, ...],
+    series: Iterable[tuple[_LabelKey, list[float]]],
+) -> list[str]:
+    """Exposition lines for one histogram (``_bucket``/``_sum``/``_count``).
+
+    ``series`` pairs each label key with the internal bucket state layout
+    ``[per-bound counts..., +Inf count, sum]``.
+    """
+    lines = [
+        f"# HELP {name} {help_text}" if help_text else f"# HELP {name}",
+        f"# TYPE {name} histogram",
+    ]
+    for key, state in series:
+        for index, bound in enumerate(buckets):
+            bucket_key = key + (("le", format_value(bound)),)
+            lines.append(
+                f"{name}_bucket{render_labels(bucket_key)} "
+                f"{format_value(state[index])}"
+            )
+        inf_key = key + (("le", "+Inf"),)
+        lines.append(f"{name}_bucket{render_labels(inf_key)} {format_value(state[-2])}")
+        lines.append(f"{name}_sum{render_labels(key)} {format_value(state[-1])}")
+        lines.append(f"{name}_count{render_labels(key)} {format_value(state[-2])}")
+    return lines
 
 
 class _Metric:
@@ -94,14 +143,21 @@ class _Metric:
         with self._lock:
             return sorted(self._series.items())
 
+    def clear(self) -> None:
+        """Drop every series of this metric (scrape-time rebuilt gauges)."""
+        with self._lock:
+            self._series.clear()
+
+    def dump(self) -> dict:
+        """Full state for snapshot export (see :mod:`repro.obs.export`)."""
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "series": [[list(map(list, key)), value] for key, value in self.samples()],
+        }
+
     def render(self) -> list[str]:
-        lines = [
-            f"# HELP {self.name} {self.help}" if self.help else f"# HELP {self.name}",
-            f"# TYPE {self.name} {self.type_name}",
-        ]
-        for key, value in self.samples():
-            lines.append(f"{self.name}{_render_labels(key)} {format_value(value)}")
-        return lines
+        return render_series_lines(self.name, self.type_name, self.help, self.samples())
 
 
 class Counter(_Metric):
@@ -175,27 +231,24 @@ class Histogram(_Metric):
         with self._lock:
             return sorted((key, state[-2]) for key, state in self._hist.items())
 
+    def clear(self) -> None:
+        with self._lock:
+            self._hist.clear()
+
+    def dump(self) -> dict:
+        with self._lock:
+            items = sorted((key, list(state)) for key, state in self._hist.items())
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": [[list(map(list, key)), state] for key, state in items],
+        }
+
     def render(self) -> list[str]:
-        lines = [
-            f"# HELP {self.name} {self.help}" if self.help else f"# HELP {self.name}",
-            f"# TYPE {self.name} {self.type_name}",
-        ]
         with self._lock:
             items = sorted(self._hist.items())
-        for key, state in items:
-            for index, bound in enumerate(self.buckets):
-                bucket_key = key + (("le", format_value(bound)),)
-                lines.append(
-                    f"{self.name}_bucket{_render_labels(bucket_key)} "
-                    f"{format_value(state[index])}"
-                )
-            inf_key = key + (("le", "+Inf"),)
-            lines.append(
-                f"{self.name}_bucket{_render_labels(inf_key)} {format_value(state[-2])}"
-            )
-            lines.append(f"{self.name}_sum{_render_labels(key)} {format_value(state[-1])}")
-            lines.append(f"{self.name}_count{_render_labels(key)} {format_value(state[-2])}")
-        return lines
+        return render_histogram_lines(self.name, self.help, self.buckets, items)
 
 
 class MetricsRegistry:
@@ -251,6 +304,18 @@ class MetricsRegistry:
             }
             for name, metric in metrics
         }
+
+    def dump(self) -> dict[str, dict]:
+        """Full registry state, JSON-ready (types, help, buckets, series).
+
+        This is the payload :mod:`repro.obs.export` snapshots to disk and
+        :mod:`repro.obs.aggregate` merges across processes — unlike
+        :meth:`snapshot` it carries complete histogram bucket state, so a
+        merge of dumps loses nothing relative to the live registries.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.dump() for name, metric in metrics}
 
     def render_prometheus(self) -> str:
         """The registry in Prometheus text exposition format (0.0.4)."""

@@ -30,13 +30,24 @@ from repro.bench.tables import format_markdown_table, format_percent
 from repro.obs.trace import PHASES, iter_trace_summaries
 
 
-def collect_summaries(directory: str | Path) -> list[dict[str, Any]]:
-    """Every run summary under ``directory``, in deterministic order."""
+def trace_files(directory: str | Path) -> list[Path]:
+    """Every ``*.trace.jsonl`` under ``directory``, sorted.
+
+    Distinguishing "no trace files at all" (a wrong path — usage error)
+    from "files exist but hold only headers" (a campaign that wrote no
+    summaries — an empty result) is what lets the CLI exit 2 for the
+    former and 1 for the latter.
+    """
     directory = Path(directory)
     if not directory.exists():
         raise FileNotFoundError(f"no such trace directory: {directory}")
+    return sorted(directory.rglob("*.trace.jsonl"))
+
+
+def collect_summaries(directory: str | Path) -> list[dict[str, Any]]:
+    """Every run summary under ``directory``, in deterministic order."""
     summaries: list[dict[str, Any]] = []
-    for path in sorted(directory.rglob("*.trace.jsonl")):
+    for path in trace_files(directory):
         summaries.extend(iter_trace_summaries(path))
     summaries.sort(
         key=lambda s: (
@@ -156,6 +167,56 @@ def render_phase_report(
     return "\n".join(lines)
 
 
+def render_shard_report(
+    summaries: Sequence[dict[str, Any]], *, wall: bool = False
+) -> str:
+    """Per-shard breakdown keyed on trace correlation IDs.
+
+    Dispatch workers stamp every summary with ``corr.job`` (plan
+    fingerprint prefix) and ``corr.shard``; traces written outside a
+    dispatch tree carry no correlation and group under ``-``.
+    """
+    groups: dict[tuple[str, str, str], dict[str, Any]] = {}
+    for summary in summaries:
+        corr = summary.get("corr") or {}
+        key = (
+            str(corr.get("shard", "-")),
+            str(corr.get("job", "-")),
+            str(summary.get("system", "")),
+        )
+        agg = groups.setdefault(key, {"runs": 0, "nominal": 0.0, "wall": 0.0})
+        agg["runs"] += 1
+        agg["nominal"] += sum(
+            float(seconds) for seconds in summary.get("nominal_s", {}).values()
+        )
+        agg["wall"] += sum(
+            float(span.get("wall_s", 0.0))
+            for span in summary.get("spans", {}).values()
+        )
+
+    correlated = sum(1 for key in groups if key[0] != "-")
+    lines = ["# Flight-trace shard report", ""]
+    lines.append(
+        f"{len(summaries)} traced run(s) across {len(groups)} "
+        f"(shard, job, system) group(s); {correlated} group(s) carry "
+        "dispatch correlation IDs."
+    )
+    lines.append("")
+    headers = ["Shard", "Job", "System", "Runs", "Nominal s"]
+    if wall:
+        headers.append("Wall s")
+    rows: list[list[object]] = []
+    for shard, job, system in sorted(groups):
+        agg = groups[(shard, job, system)]
+        row: list[object] = [shard, job, system, agg["runs"], _seconds(agg["nominal"])]
+        if wall:
+            row.append(_seconds(agg["wall"]))
+        rows.append(row)
+    lines.append(format_markdown_table(headers, rows))
+    lines.append("")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #
@@ -175,25 +236,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="include measured wall-clock columns (machine-dependent; the "
         "default report is deterministic and baseline-safe)",
     )
+    report.add_argument(
+        "--by-shard", action="store_true",
+        help="group by dispatch correlation IDs (shard/job) instead of phase",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="statistically compare two trace directories per (system, phase); "
+        "exits 1 when a phase regressed significantly",
+    )
+    compare.add_argument("baseline", help="baseline trace directory")
+    compare.add_argument("current", help="current trace directory")
+    compare.add_argument(
+        "--metric", choices=("wall", "nominal"), default="wall",
+        help="per-run seconds to compare (default: %(default)s)",
+    )
+    compare.add_argument(
+        "--confidence", type=float, default=None,
+        help="bootstrap CI confidence level (default: the analysis default)",
+    )
+    compare.add_argument(
+        "--resamples", type=int, default=None,
+        help="bootstrap resample count (default: the analysis default)",
+    )
+    compare.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the deterministic bootstrap (default: %(default)s)",
+    )
+    compare.add_argument("--out", default=None, help="write the comparison here")
     return parser
+
+
+def _write_or_print(rendered: str, out: str | None, label: str) -> None:
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        print(f"{label} written to {path}")
+    else:
+        print(rendered, end="")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        files = trace_files(args.dir)
+        if not files:
+            print(f"error: no *.trace.jsonl files under {args.dir}", file=sys.stderr)
+            return 2
+        summaries = collect_summaries(args.dir)
+        if not summaries:
+            # Header-only traces: the files are real but no run completed.
+            print(f"no trace summaries under {args.dir}", file=sys.stderr)
+            return 1
+        if args.by_shard:
+            rendered = render_shard_report(summaries, wall=args.wall)
+        else:
+            rendered = render_phase_report(summaries, wall=args.wall)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _write_or_print(rendered, args.out, "phase report")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import DEFAULT_CONFIDENCE, DEFAULT_RESAMPLES
+    from repro.obs.compare import compare_phases, render_compare
+
+    confidence = args.confidence if args.confidence is not None else DEFAULT_CONFIDENCE
+    resamples = args.resamples if args.resamples is not None else DEFAULT_RESAMPLES
+    try:
+        sides = {}
+        for label, directory in (("baseline", args.baseline), ("current", args.current)):
+            summaries = collect_summaries(directory)
+            if not summaries:
+                print(f"error: no trace summaries under {directory}", file=sys.stderr)
+                return 2
+            sides[label] = summaries
+        comparisons = compare_phases(
+            sides["baseline"], sides["current"],
+            metric=args.metric, confidence=confidence,
+            resamples=resamples, seed=args.seed,
+        )
+        rendered = render_compare(
+            comparisons, metric=args.metric, confidence=confidence
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _write_or_print(rendered, args.out, "phase comparison")
+    return 1 if any(c.regressed for c in comparisons) else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        summaries = collect_summaries(args.dir)
-        if not summaries:
-            print(f"error: no *.trace.jsonl files under {args.dir}", file=sys.stderr)
-            return 2
-        rendered = render_phase_report(summaries, wall=args.wall)
-    except (FileNotFoundError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if args.out:
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(rendered, encoding="utf-8")
-        print(f"phase report written to {path}")
-    else:
-        print(rendered, end="")
-    return 0
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_report(args)

@@ -34,7 +34,7 @@ import os
 import re
 import time
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.jsonl import iter_frame_records
 
@@ -162,13 +162,17 @@ def append_trace_summary(
     system: str,
     scenario_id: str,
     repetition: int,
+    correlation: Mapping[str, str] | None = None,
 ) -> Path:
     """Append one run's summary to ``<directory>/<system>.trace.jsonl``.
 
     The payload is one line, written with a single ``write`` on an
     ``O_APPEND`` descriptor, so concurrent appends from parallel campaign
     workers interleave at line granularity only (the same guarantee as
-    campaign-result appends).
+    campaign-result appends).  ``correlation`` (job/shard/probe ids, see
+    :meth:`repro.bench.campaign.Campaign.correlate`) is stamped into the
+    summary as a ``corr`` object when given; summaries without one render
+    byte-identically to pre-correlation trace files.
     """
     directory = Path(directory)
     path = directory / trace_filename(system)
@@ -176,6 +180,8 @@ def append_trace_summary(
     payload = recorder.summary(
         system=system, scenario_id=scenario_id, repetition=repetition
     )
+    if correlation:
+        payload["corr"] = {str(key): str(value) for key, value in correlation.items()}
     line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
     fd = os.open(path, os.O_WRONLY | os.O_APPEND)
     try:

@@ -165,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8035)
     serve.add_argument(
         "--workers", type=int, default=2,
-        help="in-process worker threads draining jobs (default: %(default)s)",
+        help="in-process worker threads draining jobs (default: %(default)s; "
+        "0 serves plan/merge/reports only and leaves flying to external "
+        "'python -m repro.dispatch work' processes)",
     )
     serve.add_argument(
         "--lease", type=float, default=None,

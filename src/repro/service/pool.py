@@ -46,7 +46,13 @@ class JobCancelled(Exception):
 
 
 class WorkerPool:
-    """``workers`` daemon threads draining a store's jobs in order."""
+    """``workers`` daemon threads draining a store's jobs in order.
+
+    ``workers=0`` is the *external-only* mode: the pool starts no threads
+    and the server merely plans, serves and merges — every shard is flown
+    by external ``python -m repro.dispatch work <job>/dispatch`` processes
+    (whose flushed metric snapshots still reach the merged ``/metrics``).
+    """
 
     def __init__(
         self,
@@ -57,8 +63,8 @@ class WorkerPool:
         idle_seconds: float = DEFAULT_IDLE_SECONDS,
         log: Callable[[str], None] | None = None,
     ) -> None:
-        if workers <= 0:
-            raise ValueError("workers must be positive")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
         self.store = store
         self.workers = workers
         self.lease_seconds = lease_seconds

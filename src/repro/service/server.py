@@ -36,6 +36,7 @@ from repro.analysis.slicing import FACTOR_NAMES
 from repro.core.metrics import RESULT_SCHEMA_VERSION
 from repro.dispatch.merge import ShardResultError
 from repro.jsonl import read_frame_header, read_frame_page
+from repro.obs.aggregate import fleet_render
 from repro.obs.metrics import METRICS
 from repro.world.spec_validation import SpecValidationError
 
@@ -191,6 +192,12 @@ class _Handler(BaseHTTPRequestHandler):
         jobs_gauge = METRICS.gauge(
             "repro_service_jobs", "Submitted jobs by lifecycle state."
         )
+        # Clear-then-set: the gauge is rebuilt wholesale each scrape, so a
+        # label value whose state no longer exists disappears instead of
+        # rendering its last count forever.  The four canonical states are
+        # always (re)set — to zero when empty — so dashboards keep their
+        # series.
+        jobs_gauge.clear()
         for state, count in counts.items():
             jobs_gauge.set(count, state=state)
         pool = self.server.pool.health()
@@ -254,7 +261,13 @@ class _Handler(BaseHTTPRequestHandler):
             return True
         if method == "GET" and segments == ["metrics"]:
             self._refresh_gauges()
-            body = METRICS.render_prometheus().encode("utf-8")
+            # Own-process registry plus every job's flushed worker
+            # snapshots, merged deterministically: counters from external
+            # ``dispatch work`` processes appear in the same exposition as
+            # the in-process pool's (see repro.obs.aggregate).
+            body = fleet_render(
+                (job.dispatch_dir for job in store.jobs()), registry=METRICS
+            ).encode("utf-8")
             self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
             return True
         if segments[:1] != ["jobs"]:

@@ -722,3 +722,41 @@ class TestLeaseObservability:
             stolen.release()
         finally:
             METRICS.reset()
+
+
+class TestStatusJsonLeaseParity:
+    def test_json_payload_carries_lease_fields(
+        self, tmp_path, suite, stub_execute, capsys
+    ):
+        # The machine-readable listing must expose exactly what the human
+        # table renders: lease limit, heartbeat age and staleness.
+        plan_smoke(tmp_path, suite, shards=2)
+        directory = tmp_path / "dispatch"
+        queue = ShardQueue(directory)
+        lease = queue.claim("w0", lease_seconds=60.0)
+        assert dispatch_main(["status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        claimed = next(s for s in payload["shards"] if s["state"] == "running")
+        assert claimed["lease_seconds"] == 60.0
+        assert 0.0 <= claimed["heartbeat_age"] < 60.0
+        assert claimed["stale"] is False
+        pending = next(s for s in payload["shards"] if s["state"] == "pending")
+        assert pending["lease_seconds"] is None
+        assert pending["heartbeat_age"] is None
+        assert pending["stale"] is False
+        lease.release()
+
+    def test_json_payload_flags_stale_lease(
+        self, tmp_path, suite, stub_execute, capsys
+    ):
+        plan_smoke(tmp_path, suite, shards=1)
+        directory = tmp_path / "dispatch"
+        queue = ShardQueue(directory)
+        lease = queue.claim("w0", lease_seconds=0.05)
+        time.sleep(0.1)
+        assert dispatch_main(["status", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (shard,) = payload["shards"]
+        assert shard["stale"] is True
+        assert shard["heartbeat_age"] > shard["lease_seconds"] == 0.05
+        lease.release()

@@ -307,3 +307,387 @@ class TestPhaseReport:
         empty.mkdir()
         assert obs_main(["report", str(empty)]) == 2
         assert "no *.trace.jsonl files" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# snapshot export + fleet aggregation
+# ---------------------------------------------------------------------- #
+def fleet_registry(runs, depth, mission_seconds=()):
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_runs_total", "Completed runs.")
+    counter.inc(runs, system="MLS-V1", outcome="success")
+    registry.gauge("repro_queue_depth", "Shards queued.").set(depth)
+    histogram = registry.histogram(
+        "repro_mission_seconds", "Mission wall seconds.", buckets=(0.1, 1.0)
+    )
+    for seconds in mission_seconds:
+        histogram.observe(seconds)
+    return registry
+
+
+class TestMetricsExport:
+    def test_flush_writes_one_atomic_snapshot(self, tmp_path):
+        from repro.obs.export import MetricsExporter
+
+        registry = fleet_registry(3, 7, (0.5,))
+        exporter = MetricsExporter(process="hostA-1-aa", nonce="aa")
+        path = exporter.flush(tmp_path, registry=registry)
+        assert path is not None
+        assert path.parent == tmp_path / "obs" / "metrics"
+        data = json.loads(path.read_text())
+        assert data["kind"] == "metrics-snapshot"
+        assert data["schema"] == 1
+        assert data["process"] == "hostA-1-aa"
+        assert data["seq"] == 1
+        assert "repro_runs_total" in data["metrics"]
+        # Re-flush overwrites the same file with a bumped sequence; no
+        # temp files survive either flush.
+        again = exporter.flush(tmp_path, registry=registry)
+        assert again == path
+        assert json.loads(path.read_text())["seq"] == 2
+        assert sorted(path.parent.iterdir()) == [path]
+
+    def test_flush_is_best_effort(self, tmp_path):
+        from repro.obs.export import MetricsExporter
+
+        blocker = tmp_path / "obs"
+        blocker.write_text("not a directory")
+        exporter = MetricsExporter()
+        assert exporter.flush(tmp_path, registry=MetricsRegistry()) is None
+
+    def test_concurrent_flushers_leave_no_torn_temp_files(self, tmp_path):
+        from repro.obs.export import MetricsExporter
+        from repro.obs.aggregate import snapshot_paths
+
+        registry = fleet_registry(1, 1)
+        exporter = MetricsExporter(process="p", nonce="cc")
+        threads = [
+            threading.Thread(
+                target=lambda: [exporter.flush(tmp_path, registry=registry)
+                                for _ in range(20)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        paths = snapshot_paths([tmp_path])
+        assert len(paths) == 1
+        # Only the snapshot remains: every unique temp file was replaced
+        # over it, none linger and none match the aggregator's glob.
+        assert sorted(p.name for p in (tmp_path / "obs" / "metrics").iterdir()) == [
+            paths[0].name
+        ]
+        assert json.loads(paths[0].read_text())["seq"] == 80
+
+    def test_merge_is_byte_stable_over_arrival_order(self, tmp_path):
+        import itertools
+
+        from repro.obs.export import MetricsExporter
+        from repro.obs.aggregate import (
+            dedupe_snapshots,
+            load_snapshots,
+            merge_snapshots,
+            render_merged,
+        )
+
+        registries = [
+            fleet_registry(3, 7, (0.5, 2.0)),
+            fleet_registry(2, 9, (0.05,)),
+            fleet_registry(5, 1, ()),
+        ]
+        for index, registry in enumerate(registries):
+            MetricsExporter(process=f"host-{index}", nonce=f"n{index}").flush(
+                tmp_path, registry=registry
+            )
+        snapshots = load_snapshots([tmp_path])
+        assert len(snapshots) == 3
+        rendered = {
+            render_merged(merge_snapshots(dedupe_snapshots(list(order))))
+            for order in itertools.permutations(snapshots)
+        }
+        assert len(rendered) == 1
+        text = rendered.pop()
+        assert 'repro_runs_total{outcome="success",system="MLS-V1"} 10' in text
+        assert 'repro_mission_seconds_count 3' in text  # element-wise histogram
+
+    def test_single_process_merge_matches_render_prometheus(self, tmp_path):
+        from repro.obs.export import MetricsExporter
+        from repro.obs.aggregate import (
+            dedupe_snapshots,
+            load_snapshots,
+            merge_snapshots,
+            render_merged,
+        )
+
+        registry = fleet_registry(4, 2, (0.3, 0.9, 5.0))
+        MetricsExporter(process="solo", nonce="dd").flush(tmp_path, registry=registry)
+        merged = render_merged(
+            merge_snapshots(dedupe_snapshots(load_snapshots([tmp_path])))
+        )
+        assert merged == registry.render_prometheus()
+
+    def test_torn_and_foreign_snapshots_are_skipped(self, tmp_path):
+        from repro.obs.export import MetricsExporter
+        from repro.obs.aggregate import load_snapshots, snapshot_paths
+
+        MetricsExporter(process="ok", nonce="ee").flush(
+            tmp_path, registry=fleet_registry(1, 1)
+        )
+        metrics_dir = tmp_path / "obs" / "metrics"
+        (metrics_dir / "999-torn.json").write_text('{"kind": "metrics-sna')
+        (metrics_dir / "998-alien.json").write_text('{"kind": "other", "schema": 1}')
+        (metrics_dir / ".77-ff-aaaaaa.tmp").write_text("{}")  # mid-flush leftover
+        assert len(snapshot_paths([tmp_path])) == 3  # temp file invisible
+        snapshots = load_snapshots([tmp_path])
+        assert [snapshot.process for snapshot in snapshots] == ["ok"]
+
+    def test_dedupe_keeps_highest_seq_per_process(self, tmp_path):
+        from repro.obs.aggregate import Snapshot, dedupe_snapshots
+
+        old = Snapshot(process="w", seq=1, metrics={})
+        new = Snapshot(process="w", seq=5, metrics={})
+        other = Snapshot(process="x", seq=2, metrics={})
+        kept = dedupe_snapshots([new, old, other])
+        assert [(snapshot.process, snapshot.seq) for snapshot in kept] == [
+            ("w", 5), ("x", 2),
+        ]
+        assert [snapshot.process for snapshot in
+                dedupe_snapshots([new, other], live_process="w")] == ["x"]
+
+    def test_gauge_is_last_writer_wins_counters_sum(self):
+        from repro.obs.aggregate import Snapshot, merge_snapshots, render_merged
+
+        def snap(process, seq, depth, runs):
+            return Snapshot(process=process, seq=seq, metrics={
+                "repro_queue_depth": {
+                    "type": "gauge", "help": "d", "series": [[[], depth]],
+                },
+                "repro_runs_total": {
+                    "type": "counter", "help": "r",
+                    "series": [[[["system", "S"]], runs]],
+                },
+            })
+
+        merged = merge_snapshots([snap("a", 3, 11.0, 2.0), snap("b", 2, 44.0, 3.0)])
+        text = render_merged(merged)
+        assert "repro_queue_depth 11" in text  # seq 3 wrote last
+        assert 'repro_runs_total{system="S"} 5' in text
+
+    def test_fleet_render_live_registry_supersedes_own_snapshots(self, tmp_path):
+        from repro.obs.export import process_exporter
+        from repro.obs.aggregate import fleet_render
+
+        registry = fleet_registry(2, 7)
+        exporter = process_exporter()
+        exporter.flush(tmp_path, registry=registry)
+        # The live registry moves on; a scrape must reflect it, not the
+        # stale disk copy this same process flushed earlier.
+        registry.counter("repro_runs_total", "Completed runs.").inc(
+            1, system="MLS-V1", outcome="success"
+        )
+        text = fleet_render([tmp_path], registry=registry)
+        assert 'repro_runs_total{outcome="success",system="MLS-V1"} 3' in text
+        # A genuinely foreign snapshot still joins the merge.
+        from repro.obs.export import MetricsExporter
+
+        MetricsExporter(process="foreign", nonce="gg").flush(
+            tmp_path, registry=fleet_registry(10, 1)
+        )
+        text = fleet_render([tmp_path], registry=registry)
+        assert 'repro_runs_total{outcome="success",system="MLS-V1"} 13' in text
+
+
+# ---------------------------------------------------------------------- #
+# correlation IDs
+# ---------------------------------------------------------------------- #
+class TestCorrelation:
+    def test_campaign_correlate_threads_ids_to_jobs(self):
+        campaign = short_campaign().correlate(job="abc123", shard="shard-00")
+        job = campaign.jobs()[0]
+        assert job.correlation == (("job", "abc123"), ("shard", "shard-00"))
+        assert campaign.correlate().jobs()[0].correlation == ()
+
+    def test_job_correlation_includes_probe_env(self, monkeypatch):
+        from repro.bench.campaign import _job_correlation
+
+        campaign = short_campaign().correlate(job="abc123")
+        job = campaign.jobs()[0]
+        monkeypatch.delenv("REPRO_CORR_PROBE", raising=False)
+        assert _job_correlation(job) == {"job": "abc123"}
+        monkeypatch.setenv("REPRO_CORR_PROBE", "deadbeef00")
+        assert _job_correlation(job) == {"job": "abc123", "probe": "deadbeef00"}
+
+    def test_trace_summary_carries_corr_only_when_given(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.charge_nominal(0.01, 0.0, 0.0)
+        append_trace_summary(
+            tmp_path / "plain", recorder, system="S", scenario_id="sc",
+            repetition=0,
+        )
+        append_trace_summary(
+            tmp_path / "tagged", recorder, system="S", scenario_id="sc",
+            repetition=0, correlation={"job": "abc", "shard": "shard-01"},
+        )
+        plain = next(iter_trace_summaries(tmp_path / "plain" / "S.trace.jsonl"))
+        tagged = next(iter_trace_summaries(tmp_path / "tagged" / "S.trace.jsonl"))
+        assert "corr" not in plain
+        assert tagged["corr"] == {"job": "abc", "shard": "shard-01"}
+
+    def test_correlated_run_labels_metrics(self, tmp_path):
+        METRICS.reset()
+        try:
+            short_campaign().correlate(job="abc123", shard="shard-00").out(
+                tmp_path / "out"
+            ).run()
+            runs = METRICS.snapshot()["repro_runs_total"]
+            assert sum(runs.values()) == 1
+            (key,) = runs
+            assert 'job="abc123"' in key and 'shard="shard-00"' in key
+        finally:
+            METRICS.reset()
+
+    def test_dispatched_traces_carry_job_and_shard_ids(self, tmp_path, monkeypatch):
+        from repro.core.config import mls_v1
+        from repro.core.mission import MissionConfig
+        from repro.dispatch.planner import plan_dispatch
+        from repro.dispatch.worker import run_worker
+        from repro.world.scenario_gen import generate_suite
+
+        directory = tmp_path / "dispatch"
+        plan_dispatch(
+            directory, generate_suite("smoke", count=1, seed=3), [mls_v1()],
+            shards=1, mission=MissionConfig(max_mission_time=8.0),
+        )
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "trace"))
+        run_worker(directory, worker_id="w0", wait=False)
+        summaries = collect_summaries(tmp_path / "trace")
+        assert summaries, "dispatched runs should be traced"
+        for summary in summaries:
+            assert set(summary["corr"]) == {"job", "shard"}
+            assert summary["corr"]["shard"] == "shard-0000"
+            assert len(summary["corr"]["job"]) == 10
+        # ... and the worker flushed its metric snapshot under the
+        # dispatch dir for fleet aggregation.
+        from repro.obs.aggregate import load_snapshots
+
+        snapshots = load_snapshots([directory])
+        assert snapshots, "worker run loop should flush metric snapshots"
+
+
+# ---------------------------------------------------------------------- #
+# phase comparison (obs compare)
+# ---------------------------------------------------------------------- #
+def timed_trace(directory, walls, system="MLS-V3", nominal=0.01):
+    """Trace dir with one summary per entry of ``walls``: {phase: seconds}."""
+    for repetition, spans in enumerate(walls):
+        recorder = FlightRecorder()
+        for phase, seconds in spans.items():
+            recorder.span_counts[phase] = 1
+            recorder.span_seconds[phase] = seconds
+        recorder.charge_nominal(nominal, 0.0, 0.0)
+        append_trace_summary(
+            directory, recorder, system=system, scenario_id="sc",
+            repetition=repetition,
+        )
+
+
+class TestCompare:
+    def test_self_compare_flags_nothing(self, tmp_path, capsys):
+        walls = [{"detect": 0.010 + 0.001 * i, "plan": 0.02} for i in range(5)]
+        timed_trace(tmp_path / "a", walls)
+        assert obs_main(["compare", str(tmp_path / "a"), str(tmp_path / "a")]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSED" not in out
+        assert "No significant phase-level shift" in out
+
+    def test_regression_flags_the_slow_phase_and_exits_1(self, tmp_path, capsys):
+        base = [{"detect": 0.010 + 0.0005 * i, "plan": 0.020} for i in range(6)]
+        slow = [{"detect": 0.100 + 0.0005 * i, "plan": 0.020} for i in range(6)]
+        timed_trace(tmp_path / "a", base)
+        timed_trace(tmp_path / "b", slow)
+        assert obs_main(["compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "MLS-V3/detect" in out
+        assert "1 phase(s) significantly slower" in out
+
+    def test_improvement_is_reported_not_fatal(self, tmp_path, capsys):
+        slow = [{"detect": 0.100 + 0.0005 * i} for i in range(6)]
+        fast = [{"detect": 0.010 + 0.0005 * i} for i in range(6)]
+        timed_trace(tmp_path / "a", slow)
+        timed_trace(tmp_path / "b", fast)
+        assert obs_main(["compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "significantly faster" in capsys.readouterr().out
+
+    def test_phase_missing_on_one_side_is_na(self, tmp_path):
+        from repro.obs.compare import compare_phases
+
+        timed_trace(tmp_path / "a", [{"detect": 0.01}])
+        timed_trace(tmp_path / "b", [{"detect": 0.01, "harness": 0.5}])
+        comparisons = compare_phases(
+            collect_summaries(tmp_path / "a"), collect_summaries(tmp_path / "b")
+        )
+        by_phase = {c.phase: c for c in comparisons}
+        assert by_phase["harness"].verdict == "n/a"
+        assert not by_phase["harness"].regressed
+
+    def test_nominal_metric_is_deterministic(self, tmp_path):
+        from repro.obs.compare import compare_phases
+
+        timed_trace(tmp_path / "a", [{"detect": 0.5}] * 4, nominal=0.010)
+        timed_trace(tmp_path / "b", [{"detect": 0.001}] * 4, nominal=0.030)
+        comparisons = compare_phases(
+            collect_summaries(tmp_path / "a"), collect_summaries(tmp_path / "b"),
+            metric="nominal",
+        )
+        detect = next(c for c in comparisons if c.phase == "detect")
+        # Identical samples per side: the CI collapses to the exact diff.
+        assert detect.regressed
+        assert detect.ci_low == pytest.approx(0.02)
+        assert detect.ci_high == pytest.approx(0.02)
+
+    def test_compare_cli_errors_exit_2(self, tmp_path, capsys):
+        timed_trace(tmp_path / "a", [{"detect": 0.01}])
+        assert obs_main(
+            ["compare", str(tmp_path / "a"), str(tmp_path / "missing")]
+        ) == 2
+        assert "no such trace directory" in capsys.readouterr().err
+
+    def test_compare_writes_out_file(self, tmp_path, capsys):
+        timed_trace(tmp_path / "a", [{"detect": 0.01}] * 3)
+        out = tmp_path / "cmp.md"
+        assert obs_main(
+            ["compare", str(tmp_path / "a"), str(tmp_path / "a"),
+             "--out", str(out)]
+        ) == 0
+        assert out.read_text().startswith("# Flight-trace phase comparison")
+
+
+class TestReportCLI:
+    def test_header_only_traces_exit_1(self, tmp_path, capsys):
+        from repro.obs.trace import _ensure_header
+
+        _ensure_header(tmp_path / "MLS-V1.trace.jsonl", "MLS-V1")
+        assert obs_main(["report", str(tmp_path)]) == 1
+        assert "no trace summaries" in capsys.readouterr().err
+
+    def test_by_shard_groups_on_correlation(self, tmp_path, capsys):
+        recorder = FlightRecorder()
+        recorder.charge_nominal(0.01, 0.02, 0.0)
+        for shard, repetition in (("shard-00", 0), ("shard-00", 1), ("shard-01", 0)):
+            append_trace_summary(
+                tmp_path, recorder, system="S", scenario_id=f"sc-{repetition}",
+                repetition=repetition,
+                correlation={"job": "abcdef1234", "shard": shard},
+            )
+        append_trace_summary(  # uncorrelated runs group under "-"
+            tmp_path, recorder, system="S", scenario_id="sc-x", repetition=0
+        )
+        assert obs_main(["report", str(tmp_path), "--by-shard"]) == 0
+        out = capsys.readouterr().out
+        assert "# Flight-trace shard report" in out
+        assert "shard-00" in out and "shard-01" in out
+        assert "abcdef1234" in out
+        lines = [line for line in out.splitlines() if "| shard-00 " in line]
+        assert len(lines) == 1  # two runs rolled into one group row

@@ -179,3 +179,62 @@ class TestStaleSuitePruning:
         }
         pruned = conftest._prune_stale_suites(suites)
         assert pruned == suites
+
+
+class TestTraceAttribution:
+    def _trace(self, directory, detect_seconds, runs=5):
+        from repro.obs.trace import FlightRecorder, append_trace_summary
+
+        for repetition in range(runs):
+            recorder = FlightRecorder()
+            recorder.span_counts["detect"] = 1
+            recorder.span_seconds["detect"] = detect_seconds + 0.0004 * repetition
+            recorder.charge_nominal(0.01, 0.0, 0.0)
+            append_trace_summary(
+                directory, recorder, system="MLS-V1", scenario_id="sc",
+                repetition=repetition,
+            )
+
+    def test_failed_gate_appends_phase_attribution(self, tmp_path, capsys):
+        write_results(tmp_path / "r.json", runs_per_s=0.1)  # tripped floor
+        write_baseline(tmp_path / "b.json", floor=0.5)
+        self._trace(tmp_path / "trace-base", 0.010)
+        self._trace(tmp_path / "trace-curr", 0.100)
+        assert main([
+            "check",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+            "--report", str(tmp_path / "report.md"),
+            "--trace-baseline", str(tmp_path / "trace-base"),
+            "--trace-current", str(tmp_path / "trace-curr"),
+        ]) == 1
+        report = (tmp_path / "report.md").read_text()
+        assert "Phase attribution" in report
+        assert "MLS-V1/detect" in report
+        assert "REGRESSED" in report
+
+    def test_passing_gate_skips_attribution(self, tmp_path, capsys):
+        write_results(tmp_path / "r.json", runs_per_s=0.6)
+        write_baseline(tmp_path / "b.json", floor=0.5)
+        self._trace(tmp_path / "trace-base", 0.010)
+        self._trace(tmp_path / "trace-curr", 0.100)
+        assert main([
+            "check",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+            "--trace-baseline", str(tmp_path / "trace-base"),
+            "--trace-current", str(tmp_path / "trace-curr"),
+        ]) == 0
+        assert "Phase attribution" not in capsys.readouterr().out
+
+    def test_unusable_trace_dirs_degrade_to_a_note(self, tmp_path, capsys):
+        write_results(tmp_path / "r.json", runs_per_s=0.1)
+        write_baseline(tmp_path / "b.json", floor=0.5)
+        assert main([
+            "check",
+            "--results", str(tmp_path / "r.json"),
+            "--baseline", str(tmp_path / "b.json"),
+            "--trace-baseline", str(tmp_path / "nope"),
+            "--trace-current", str(tmp_path / "nope"),
+        ]) == 1
+        assert "phase attribution unavailable" in capsys.readouterr().out

@@ -494,3 +494,89 @@ class TestObservabilityEndpoints:
             assert sum(claims.values()) == 2
         finally:
             METRICS.reset()
+
+
+class TestFleetMetrics:
+    def _foreign_snapshot(self, dispatch_dir, runs, process="exthost-99-zz", seq=1):
+        metrics_dir = dispatch_dir / "obs" / "metrics"
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": "metrics-snapshot", "schema": 1,
+            "process": process, "seq": seq,
+            "metrics": {
+                "repro_runs_total": {
+                    "type": "counter", "help": "Completed runs.",
+                    "series": [
+                        [[["outcome", "success"], ["system", "EXT"]], runs]
+                    ],
+                },
+            },
+        }
+        (metrics_dir / "99-zz.json").write_text(json.dumps(payload))
+
+    def test_metrics_merges_external_worker_snapshots(
+        self, server_factory, stub_execute
+    ):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        try:
+            server, client = server_factory(workers=1)
+            job_id = client.submit(SUBMISSION)["id"]
+            client.wait(job_id, timeout=30)
+            (job,) = server.store.jobs()
+            self._foreign_snapshot(job.dispatch_dir, 7)
+            text, _ = client._text("/metrics")
+            # The external process's series joins the same exposition as
+            # the in-process pool's own state.
+            assert 'repro_runs_total{outcome="success",system="EXT"} 7' in text
+            assert 'repro_service_jobs{state="done"} 1' in text
+            # A newer flush from the same process supersedes (dedupe by
+            # seq), it does not double-count.
+            self._foreign_snapshot(job.dispatch_dir, 9, seq=2)
+            text, _ = client._text("/metrics")
+            assert 'repro_runs_total{outcome="success",system="EXT"} 9' in text
+        finally:
+            METRICS.reset()
+
+    def test_stale_job_state_labels_are_cleared_each_scrape(
+        self, server_factory, stub_execute
+    ):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        try:
+            _, client = server_factory(start_pool=False)
+            # A label value no server code sets any more must not linger
+            # from scrape to scrape: the gauge is rebuilt wholesale.
+            METRICS.gauge(
+                "repro_service_jobs", "Submitted jobs by lifecycle state."
+            ).set(5, state="bogus-legacy-state")
+            text, _ = client._text("/metrics")
+            assert "bogus-legacy-state" not in text
+            for state in ("queued", "running", "done", "cancelled"):
+                assert f'repro_service_jobs{{state="{state}"}} 0' in text
+        finally:
+            METRICS.reset()
+
+    def test_workers_zero_serves_while_externals_fly(
+        self, server_factory, stub_execute
+    ):
+        server, client = server_factory(workers=0)
+        assert server.pool.health()["threads"] == []
+        job_id = client.submit(SUBMISSION)["id"]
+        (job,) = server.store.jobs()
+        assert server.store.job_state(job) == "queued"
+        # An "external" dispatch worker (same protocol, own process in
+        # production) drains the job's dispatch directory.
+        run_worker(job.dispatch_dir, worker_id="external-w0", wait=False)
+        status = client.wait(job_id, timeout=30)
+        assert status["state"] == "done"
+        text, _ = client.report(job_id)
+        assert "runs" in text.lower()
+
+    def test_pool_refuses_negative_workers(self, tmp_path):
+        from repro.service.pool import WorkerPool
+
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerPool(JobStore(tmp_path / "r"), workers=-1)
